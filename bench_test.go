@@ -1,0 +1,413 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per artifact; see DESIGN.md's experiment index) plus micro-benchmarks
+// of the substrates. Shared fixtures are built once and reused, so the
+// per-iteration numbers measure the experiment's core computation.
+package macroflow
+
+import (
+	"sync"
+	"testing"
+
+	"macroflow/internal/baseline"
+	"macroflow/internal/cnv"
+	"macroflow/internal/dataset"
+	"macroflow/internal/fabric"
+	"macroflow/internal/ml"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/stitch"
+	"macroflow/internal/synth"
+	"macroflow/internal/timing"
+)
+
+// --- shared fixtures ---------------------------------------------------
+
+var fixOnce sync.Once
+var fix struct {
+	dev      *fabric.Device
+	design   *cnv.Design
+	dataset  []dataset.Sample
+	train    []dataset.Sample
+	test     []dataset.Sample
+	stitch20 *stitch.Problem // min-CF blocks on xc7z020
+}
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fix.dev = fabric.XC7Z020()
+		fix.design = cnv.CNVW1A1()
+		cfg := dataset.DefaultConfig()
+		cfg.Modules = 500
+		cfg.Seed = 1
+		s, err := dataset.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fix.dataset = dataset.Balance(s, 75, 1)
+		fix.train, fix.test = dataset.Split(fix.dataset, 0.8, 1)
+
+		fix.stitch20 = buildStitchProblem(fix.dev, fix.design)
+	})
+}
+
+// buildStitchProblem implements every block at its minimal CF.
+func buildStitchProblem(dev *fabric.Device, d *cnv.Design) *stitch.Problem {
+	cfg := pblock.DefaultConfig()
+	search := pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+	prob := &stitch.Problem{Dev: dev}
+	for ti := range d.Types {
+		m, err := d.Module(ti)
+		if err != nil {
+			panic(err)
+		}
+		rep := place.QuickPlace(m)
+		res, err := pblock.MinCF(dev, m, rep, search, cfg)
+		if err != nil {
+			panic(err)
+		}
+		prob.Blocks = append(prob.Blocks, stitch.NewBlock(d.Types[ti].Name, res.Impl.Placement))
+	}
+	for ii := range d.Instances {
+		prob.Instances = append(prob.Instances, stitch.Instance{
+			Name: d.Instances[ii].Name, Block: d.Instances[ii].Type,
+		})
+	}
+	for _, n := range d.Nets {
+		prob.Nets = append(prob.Nets, stitch.Net{From: n.From, To: n.To, Weight: float64(n.Width) / 16})
+	}
+	return prob
+}
+
+func cnvModule(b *testing.B, name string) (int, place.ShapeReport) {
+	b.Helper()
+	ti := fix.design.TypeIndex(name)
+	m, err := fix.design.Module(ti)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ti, place.QuickPlace(m)
+}
+
+// --- Table I -----------------------------------------------------------
+
+// BenchmarkTable1 regenerates the Table I comparison: implementing the
+// two featured modules at CF 1.5 and at the minimal CF, with timing.
+func BenchmarkTable1(b *testing.B) {
+	fixtures(b)
+	cfg := pblock.DefaultConfig()
+	mdl := timing.DefaultModel()
+	for _, name := range []string{"mvau_18", "weights_14"} {
+		b.Run(name, func(b *testing.B) {
+			ti, rep := cnvModule(b, name)
+			m, _ := fix.design.Module(ti)
+			for i := 0; i < b.N; i++ {
+				impl, err := pblock.Implement(fix.dev, m, rep, 1.5, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = timing.LongestPath(fix.dev, impl.Placement, impl.Route, mdl)
+			}
+		})
+	}
+}
+
+// --- Table II ----------------------------------------------------------
+
+// BenchmarkTable2 trains and evaluates each estimator family on the
+// balanced dataset (Table II's rows).
+func BenchmarkTable2(b *testing.B) {
+	fixtures(b)
+	Xtr, ytr := dataset.Vectors(ml.All, fix.train)
+	Xte, yte := dataset.Vectors(ml.All, fix.test)
+	families := []struct {
+		name string
+		make func() ml.Model
+	}{
+		{"DecisionTree", func() ml.Model { return &ml.DecisionTree{MaxDepth: 20, Seed: 1} }},
+		{"RandomForest", func() ml.Model { return &ml.RandomForest{Trees: 100, MaxDepth: 20, Seed: 1} }},
+		{"NeuralNetwork", func() ml.Model { return &ml.NeuralNet{Hidden: 25, Epochs: 100, Seed: 1} }},
+	}
+	for _, fam := range families {
+		b.Run(fam.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := fam.make()
+				if err := m.Fit(Xtr, ytr); err != nil {
+					b.Fatal(err)
+				}
+				_ = ml.MeanRelError(ml.PredictAll(m, Xte), yte)
+			}
+		})
+	}
+	b.Run("LinearRegression", func(b *testing.B) {
+		Xl, yl := dataset.Vectors(ml.LinRegSet, fix.train)
+		Xlt, ylt := dataset.Vectors(ml.LinRegSet, fix.test)
+		for i := 0; i < b.N; i++ {
+			lr := &ml.LinearRegression{}
+			if err := lr.Fit(Xl, yl); err != nil {
+				b.Fatal(err)
+			}
+			_ = ml.MeanRelError(ml.PredictAll(lr, Xlt), ylt)
+		}
+	})
+}
+
+// --- Fig. 3 ------------------------------------------------------------
+
+// BenchmarkFig3 measures the footprint comparison: one detailed
+// placement of weights_14 in a loose PBlock, footprint metrics included.
+func BenchmarkFig3(b *testing.B) {
+	fixtures(b)
+	ti, rep := cnvModule(b, "weights_14")
+	m, _ := fix.design.Module(ti)
+	cfg := pblock.DefaultConfig()
+	pb, err := pblock.Build(fix.dev, rep, 1.5, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := place.Place(fix.dev, m, rep, pb.Rect, cfg.Place)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pl.Footprint.Irregularity()
+	}
+}
+
+// --- Fig. 4 ------------------------------------------------------------
+
+// BenchmarkFig4 measures one minimal-CF sweep (the per-block cost of the
+// Fig. 4 distribution) on a mid-sized cnv block.
+func BenchmarkFig4(b *testing.B) {
+	fixtures(b)
+	ti, rep := cnvModule(b, "mvau_l12")
+	m, _ := fix.design.Module(ti)
+	cfg := pblock.DefaultConfig()
+	search := pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pblock.MinCF(fix.dev, m, rep, search, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 5 / Fig. 13 --------------------------------------------------
+
+// BenchmarkFig5 measures the SA stitch of the full 175-instance design
+// on the xc7z020 with minimal-CF blocks.
+func BenchmarkFig5(b *testing.B) {
+	fixtures(b)
+	cfg := stitch.DefaultConfig()
+	cfg.Iterations = 50000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		_ = stitch.Run(fix.stitch20, cfg)
+	}
+}
+
+// BenchmarkFig5Baseline measures the monolithic full-device placement
+// (Fig. 5a).
+func BenchmarkFig5Baseline(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.PlaceAll(fix.dev, fix.design); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 7 / Fig. 8 ---------------------------------------------------
+
+// BenchmarkFig7 measures dataset labeling throughput: elaborate,
+// optimize and minimal-CF-label a batch of generated modules.
+func BenchmarkFig7(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.DefaultConfig()
+		cfg.Modules = 50
+		cfg.Seed = int64(i + 10)
+		if _, err := dataset.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 measures the balancing pass.
+func BenchmarkFig8(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		_ = dataset.Balance(fix.dataset, 75, int64(i))
+	}
+}
+
+// --- Fig. 9 / Fig. 12 --------------------------------------------------
+
+// BenchmarkFig9 measures decision-tree training with feature importance
+// on the Additional set.
+func BenchmarkFig9(b *testing.B) {
+	fixtures(b)
+	X, y := dataset.Vectors(ml.Additional, fix.train)
+	for i := 0; i < b.N; i++ {
+		dt := &ml.DecisionTree{MaxDepth: 20, Seed: int64(i)}
+		if err := dt.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+		_ = dt.FeatureImportance()
+	}
+}
+
+// BenchmarkFig12 measures random-forest training with importance.
+func BenchmarkFig12(b *testing.B) {
+	fixtures(b)
+	X, y := dataset.Vectors(ml.All, fix.train)
+	for i := 0; i < b.N; i++ {
+		rf := &ml.RandomForest{Trees: 100, MaxDepth: 20, Seed: int64(i)}
+		if err := rf.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+		_ = rf.FeatureImportance()
+	}
+}
+
+// --- Fig. 10 / Fig. 11 -------------------------------------------------
+
+// BenchmarkFig10 measures estimator prediction throughput.
+func BenchmarkFig10(b *testing.B) {
+	fixtures(b)
+	X, y := dataset.Vectors(ml.All, fix.train)
+	rf := &ml.RandomForest{Trees: 100, MaxDepth: 20, Seed: 1}
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	Xte, _ := dataset.Vectors(ml.All, fix.test)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ml.PredictAll(rf, Xte)
+	}
+}
+
+// BenchmarkFig11 measures feature extraction plus prediction for the cnv
+// blocks (the §VIII evaluation path).
+func BenchmarkFig11(b *testing.B) {
+	fixtures(b)
+	X, y := dataset.Vectors(ml.Additional, fix.train)
+	nn := &ml.NeuralNet{Hidden: 25, Epochs: 100, Seed: 1}
+	if err := nn.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	var reps []place.ShapeReport
+	for ti := range fix.design.Types {
+		m, _ := fix.design.Module(ti)
+		reps = append(reps, place.QuickPlace(m))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range reps {
+			_ = nn.Predict(ml.Additional.Vector(ml.Extract(rep)))
+		}
+	}
+}
+
+// --- Tool runs (§VIII) -------------------------------------------------
+
+// BenchmarkToolRuns measures the estimator-seeded refinement procedure
+// (estimate, coarse up-steps, fine scan) against the plain sweep.
+func BenchmarkToolRuns(b *testing.B) {
+	fixtures(b)
+	ti, rep := cnvModule(b, "mvau_l34")
+	m, _ := fix.design.Module(ti)
+	cfg := pblock.DefaultConfig()
+	search := pblock.SearchConfig{Start: 0.9, Step: 0.02, Max: 3.0}
+	b.Run("FromEstimate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pblock.FromEstimate(fix.dev, m, rep, 0.95, search, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pblock.MinCF(fix.dev, m, rep, search, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkSynthElaborate measures elaboration plus optimization of a
+// mid-sized generated module.
+func BenchmarkSynthElaborate(b *testing.B) {
+	spec := rtlgen.Spec{
+		Name: "bench",
+		Components: []rtlgen.Component{
+			rtlgen.RandomLogic{LUTs: 1000, Fanin: 4, Depth: 5, Seed: 9},
+			rtlgen.ShiftRegs{Count: 16, Length: 16, ControlSets: 4, Fanin: 4, NoSRL: true},
+			rtlgen.SumOfSquares{Width: 16, Terms: 2},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := synth.Elaborate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := synth.Optimize(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceDetailed measures one detailed placement of a mid-sized
+// module into a snug PBlock.
+func BenchmarkPlaceDetailed(b *testing.B) {
+	fixtures(b)
+	ti, rep := cnvModule(b, "mvau_l34")
+	m, _ := fix.design.Module(ti)
+	cfg := pblock.DefaultConfig()
+	pb, err := pblock.Build(fix.dev, rep, 1.2, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.Place(fix.dev, m, rep, pb.Rect, cfg.Place); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteProbe measures one congestion probe.
+func BenchmarkRouteProbe(b *testing.B) {
+	fixtures(b)
+	ti, rep := cnvModule(b, "mvau_l34")
+	m, _ := fix.design.Module(ti)
+	cfg := pblock.DefaultConfig()
+	pb, err := pblock.Build(fix.dev, rep, 1.2, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.Place(fix.dev, m, rep, pb.Rect, cfg.Place)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = route.Route(pl, cfg.Route)
+	}
+}
+
+// BenchmarkStitchMoves measures raw SA move throughput.
+func BenchmarkStitchMoves(b *testing.B) {
+	fixtures(b)
+	cfg := stitch.DefaultConfig()
+	cfg.Iterations = b.N
+	cfg.Seed = 1
+	b.ResetTimer()
+	_ = stitch.Run(fix.stitch20, cfg)
+}

@@ -1,0 +1,165 @@
+// Command calib is a development aid: it sweeps the RTL generator mix,
+// measures the minimal correction factor of each module with the full
+// placement/routing oracle, and prints the CF distribution plus feature
+// summaries. It exists to calibrate the simulation constants so the CF
+// range matches the paper (0.9..~1.7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/synth"
+)
+
+func main() {
+	n := flag.Int("n", 100, "modules to sample")
+	seed := flag.Int64("seed", 1, "generator seed")
+	cap := flag.Float64("cap", 0, "override routing capacity per tile")
+	noise := flag.Bool("noise", false, "run label-noise study and exit")
+	probe := flag.String("probe", "", "print per-CF route diagnostics for modules whose name contains this substring")
+	flag.Parse()
+	if *noise {
+		noiseStudy(*n, *seed)
+		return
+	}
+
+	dev := fabric.XC7Z020()
+	rng := rand.New(rand.NewSource(*seed))
+	specs := rtlgen.GenerateMix(rng, *n)
+	cfg := pblock.DefaultConfig()
+	if *cap > 0 {
+		cfg.Route.CapacityPerTile = *cap
+	}
+	search := pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+
+	type result struct {
+		name  string
+		cf    float64
+		luts  int
+		ffs   int
+		carry int
+		mem   int
+		cs    int
+		fan   int
+		est   int
+		err   string
+	}
+	results := make([]result, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec rtlgen.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := synth.Elaborate(spec)
+			if err != nil {
+				results[i] = result{name: spec.Name, err: err.Error()}
+				return
+			}
+			if _, err := synth.Optimize(m); err != nil {
+				results[i] = result{name: spec.Name, err: err.Error()}
+				return
+			}
+			rep := place.QuickPlace(m)
+			if *probe != "" && strings.Contains(spec.Name, *probe) {
+				for _, cf := range []float64{1.0, 1.2, 1.6, 2.0, 2.4} {
+					pb, err := pblock.Build(dev, rep, cf, cfg)
+					if err != nil {
+						fmt.Printf("probe %s cf=%.2f: build: %v\n", spec.Name, cf, err)
+						continue
+					}
+					pl, err := place.Place(dev, m, rep, pb.Rect, cfg.Place)
+					if err != nil {
+						fmt.Printf("probe %s cf=%.2f rect=%v: %v\n", spec.Name, cf, pb.Rect, err)
+						continue
+					}
+					rr := route.Route(pl, cfg.Route)
+					fmt.Printf("probe %s cf=%.2f rect=%dx%d used=%d spread=%.2f avg=%.2f peak=%.2f ovf=%.3f hpwl=%.2f feas=%v\n",
+						spec.Name, cf, pb.Rect.Width(), pb.Rect.Height(), pl.UsedSlices, pl.Spread,
+						rr.AvgUtil, rr.PeakUtil, rr.OverflowFrac, rr.AvgNetHPWL, rr.Feasible)
+				}
+			}
+			s := rep.Stats
+			r := result{name: spec.Name, luts: s.LUTs, ffs: s.FFs, carry: s.Carrys,
+				mem: s.MDemand(), cs: s.ControlSets, fan: s.MaxFanout, est: rep.EstSlices}
+			sr, err := pblock.MinCF(dev, m, rep, search, cfg)
+			if err != nil {
+				if _, err3 := pblock.Implement(dev, m, rep, 3.0, cfg); err3 != nil {
+					r.err = "at cf=3.0: " + err3.Error()
+				} else {
+					r.err = err.Error()
+				}
+			} else {
+				r.cf = sr.CF
+			}
+			results[i] = r
+		}(i, spec)
+	}
+	wg.Wait()
+
+	hist := map[int]int{}
+	fails := 0
+	var cfs []float64
+	for _, r := range results {
+		if r.err != "" {
+			fails++
+			if fails <= 10 {
+				fmt.Printf("FAIL %-30s est=%-5d %s\n", r.name, r.est, r.err)
+			}
+			continue
+		}
+		cfs = append(cfs, r.cf)
+		hist[int(r.cf*50)]++
+	}
+	sort.Float64s(cfs)
+	if len(cfs) == 0 {
+		fmt.Println("no successes")
+		os.Exit(1)
+	}
+	fmt.Printf("\nmodules=%d ok=%d fail=%d\n", len(specs), len(cfs), fails)
+	fmt.Printf("cf: min=%.2f p25=%.2f median=%.2f p75=%.2f p95=%.2f max=%.2f\n",
+		cfs[0], q(cfs, 0.25), q(cfs, 0.5), q(cfs, 0.75), q(cfs, 0.95), cfs[len(cfs)-1])
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  cf=%.2f : %3d %s\n", float64(k)/50, hist[k], bar(hist[k]))
+	}
+	// Highest-CF modules summary.
+	sort.Slice(results, func(i, j int) bool { return results[i].cf > results[j].cf })
+	fmt.Println("\nhighest-CF modules:")
+	for i := 0; i < 15 && i < len(results); i++ {
+		r := results[i]
+		fmt.Printf("  %-32s est=%-5d lut=%-5d ff=%-5d carry=%-4d mem=%-4d cs=%-3d fan=%-5d cf=%.2f %s\n",
+			r.name, r.est, r.luts, r.ffs, r.carry, r.mem, r.cs, r.fan, r.cf, r.err)
+	}
+}
+
+func q(v []float64, p float64) float64 {
+	i := int(p * float64(len(v)-1))
+	return v[i]
+}
+
+func bar(n int) string {
+	s := ""
+	for i := 0; i < n && i < 60; i++ {
+		s += "#"
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/synth"
+)
+
+// noiseStudy measures the label-noise floor: the same module relabeled
+// with different placer seeds. The mean relative CF delta bounds the
+// accuracy any estimator can reach.
+func noiseStudy(n int, seed int64) {
+	dev := fabric.XC7Z020()
+	rng := rand.New(rand.NewSource(seed))
+	specs := rtlgen.GenerateMix(rng, n)
+	search := pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+
+	deltas := make([]float64, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec rtlgen.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := synth.Elaborate(spec)
+			if err != nil {
+				return
+			}
+			synth.Optimize(m)
+			rep := place.QuickPlace(m)
+			if rep.EstSlices < 6 {
+				deltas[i] = -1
+				return
+			}
+			cfg1 := pblock.DefaultConfig()
+			cfg1.Place.Seed = 1001
+			cfg2 := pblock.DefaultConfig()
+			cfg2.Place.Seed = 2002
+			r1, err1 := pblock.MinCF(dev, m, rep, search, cfg1)
+			r2, err2 := pblock.MinCF(dev, m, rep, search, cfg2)
+			if err1 != nil || err2 != nil {
+				deltas[i] = -1
+				return
+			}
+			d := r1.CF - r2.CF
+			if d < 0 {
+				d = -d
+			}
+			deltas[i] = d / r1.CF
+		}(i, spec)
+	}
+	wg.Wait()
+	sum, cnt, big := 0.0, 0, 0
+	for _, d := range deltas {
+		if d < 0 {
+			continue
+		}
+		sum += d
+		cnt++
+		if d > 0.05 {
+			big++
+		}
+	}
+	fmt.Printf("noise study: %d modules, mean rel CF delta %.2f%%, >5%% delta on %d (%.0f%%)\n",
+		cnt, 100*sum/float64(cnt), big, 100*float64(big)/float64(cnt))
+}

@@ -1,0 +1,50 @@
+// Command fabricinfo prints a device model: its column map, resource
+// totals, and relocation statistics (how many compatible origins spans
+// of each width have — the quantity that decides how freely
+// pre-implemented blocks move during stitching).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"macroflow/internal/fabric"
+)
+
+func main() {
+	log.SetFlags(0)
+	device := flag.String("device", "xc7z020", "device (xc7z020, xc7z045)")
+	flag.Parse()
+
+	var dev *fabric.Device
+	switch *device {
+	case "xc7z020":
+		dev = fabric.XC7Z020()
+	case "xc7z045":
+		dev = fabric.XC7Z045()
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	fmt.Println(dev)
+	fmt.Print("columns: ")
+	for _, k := range dev.Columns {
+		fmt.Print(k)
+	}
+	fmt.Println()
+
+	rc := dev.Resources()
+	fmt.Printf("\nresources: %d slices (%d L, %d M), %d LUTs, %d FFs, %d BRAM, %d DSP\n",
+		rc.Slices(), rc.SlicesL, rc.SlicesM, rc.LUTs(), rc.FFs(), rc.BRAM, rc.DSP)
+	fmt.Printf("clock regions: %d x %d rows\n", dev.ClockRegions(), dev.ClockRegionRows)
+
+	fmt.Println("\nrelocation freedom (compatible X origins per span width, anchored after the left IO column):")
+	for _, w := range []int{2, 4, 6, 8, 10, 12, 16, 20, 30} {
+		if w >= dev.NumCols()-2 {
+			break
+		}
+		origins := dev.CompatibleOriginsX(1, w)
+		fmt.Printf("  width %2d: %3d origins\n", w, len(origins))
+	}
+}

@@ -1,0 +1,98 @@
+// Command rwflow runs the full pre-implemented-block flow on the
+// partitioned cnvW1A1 network: implement every unique block under the
+// chosen correction-factor policy, then stitch all 175 instances onto
+// the device with simulated annealing.
+//
+//	rwflow -device xc7z020 -mode minsweep
+//	rwflow -device xc7z045 -mode estimator -train-modules 2000
+//	rwflow -device xc7z020 -mode constant -cf 1.68
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"macroflow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rwflow: ")
+	device := flag.String("device", "xc7z020", "target device (xc7z020, xc7z045)")
+	mode := flag.String("mode", "minsweep", "CF policy: constant, minsweep, estimator")
+	cf := flag.Float64("cf", 1.68, "correction factor for -mode constant")
+	trainModules := flag.Int("train-modules", 1200, "dataset size for -mode estimator")
+	epochs := flag.Int("epochs", 400, "NN training epochs for -mode estimator")
+	seed := flag.Int64("seed", 1, "seed")
+	iters := flag.Int("stitch-iters", 200000, "SA iterations")
+	showMap := flag.Bool("map", false, "print the ASCII placement map")
+	flag.Parse()
+
+	flow, err := macroflow.NewFlow(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow.SetSearch(0.5, 0.02, 3.0)
+	fmt.Printf("device: %+v\n", flow.Device())
+
+	var cfMode macroflow.CFMode
+	switch *mode {
+	case "constant":
+		cfMode = macroflow.ConstantCF(*cf)
+	case "minsweep":
+		cfMode = macroflow.MinSweepCF()
+	case "estimator":
+		est, rep, err := flow.TrainEstimator(macroflow.NeuralNetwork, macroflow.FeaturesAll,
+			macroflow.TrainOptions{Modules: *trainModules, Seed: *seed, Epochs: *epochs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("estimator trained: %.1f%% held-out mean relative error\n", 100*rep.MeanRelError)
+		cfMode = macroflow.EstimatorCF(est)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{Seed: *seed, StitchIterations: *iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-block table, largest first.
+	order := make([]int, len(res.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return res.Blocks[order[a]].UsedSlices > res.Blocks[order[b]].UsedSlices
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "block\tinsts\tcf\truns\tslices\tpblock\tpath(ns)")
+	for _, i := range order[:min(15, len(order))] {
+		b := res.Blocks[i]
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%d\t%d\t%s\t%.2f\n",
+			b.Name, res.Instances[i], b.CF, b.ToolRuns, b.UsedSlices, b.PBlock, b.LongestPathNS)
+	}
+	w.Flush()
+	fmt.Printf("... (%d unique blocks total, %d tool runs)\n", len(res.Blocks), res.TotalToolRuns)
+	if res.FirstRunRate > 0 {
+		fmt.Printf("first-run success: %.1f%%\n", 100*res.FirstRunRate)
+	}
+	fmt.Printf("\nstitch: %d placed, %d unplaced; cost %.0f; converged at %d/%d iters; %d illegal moves\n",
+		res.Stitch.Placed, res.Stitch.Unplaced, res.Stitch.FinalCost,
+		res.Stitch.ConvergenceIter, res.Stitch.Iterations, res.Stitch.IllegalMoves)
+	if *showMap {
+		fmt.Println(res.Stitch.Map)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

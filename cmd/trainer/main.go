@@ -1,0 +1,154 @@
+// Command trainer reproduces the estimator evaluation of the paper's
+// §VII: it generates the RTL dataset, measures minimal correction
+// factors, balances the CF distribution (cap 75 per bin), splits 80/20,
+// trains all four estimator types over the Table II feature sets, and
+// prints the relative-error table plus the decision-tree feature
+// importance of Fig. 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"macroflow/internal/dataset"
+	"macroflow/internal/ml"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trainer: ")
+	modules := flag.Int("modules", 2000, "modules to generate")
+	seed := flag.Int64("seed", 1, "master seed")
+	trees := flag.Int("trees", 1000, "random forest size")
+	epochs := flag.Int("epochs", 600, "neural network epochs")
+	capBin := flag.Int("cap", 75, "max samples per CF bin")
+	dump := flag.String("dump", "", "write the labeled dataset to this CSV file")
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	cfg.Modules = *modules
+	cfg.Seed = *seed
+	fmt.Printf("generating %d modules on %s ...\n", cfg.Modules, cfg.Device.Name)
+	samples, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeled %d modules (CF in [%.2f, %.2f])\n", len(samples), cfg.Search.Start, cfg.Search.Max)
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "name,cf,est,luts,ffs,carry,clbms,cs,fanout,cells")
+		for _, s := range samples {
+			ft := s.Features
+			fmt.Fprintf(f, "%s,%.2f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+				s.Name, s.CF, ft.EstSlices, ft.LUTs, ft.FFs, ft.Carrys, ft.CLBMs, ft.ControlSets, ft.MaxFanout, ft.TotalCells)
+		}
+		f.Close()
+	}
+
+	balanced := dataset.Balance(samples, *capBin, *seed)
+	fmt.Printf("balanced to %d samples (cap %d per 0.02 bin)\n", len(balanced), *capBin)
+	train, test := dataset.Split(balanced, 0.8, *seed)
+	fmt.Printf("train %d / test %d\n\n", len(train), len(test))
+
+	sets := []ml.FeatureSet{ml.Classical, ml.ClassicalPlacement, ml.Additional, ml.All}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Features\t")
+	for _, fs := range sets {
+		fmt.Fprintf(w, "%s\t", fs)
+	}
+	fmt.Fprintln(w)
+
+	// Decision tree row.
+	fmt.Fprintf(w, "Decision Tree Error\t")
+	var dtImportance map[ml.FeatureSet][]float64 = map[ml.FeatureSet][]float64{}
+	for _, fs := range sets {
+		dt := &ml.DecisionTree{MaxDepth: 20, Seed: *seed}
+		relErr := evalModel(dt, fs, train, test)
+		dtImportance[fs] = dt.FeatureImportance()
+		fmt.Fprintf(w, "%.1f%%\t", 100*relErr)
+	}
+	fmt.Fprintln(w)
+
+	// Random forest row.
+	fmt.Fprintf(w, "Random Forest Error\t")
+	for _, fs := range sets {
+		rf := &ml.RandomForest{Trees: *trees, MaxDepth: 20, Seed: *seed}
+		fmt.Fprintf(w, "%.1f%%\t", 100*evalModel(rf, fs, train, test))
+	}
+	fmt.Fprintln(w)
+
+	// Neural network row (paper: fed all features).
+	fmt.Fprintf(w, "Neural Network Error\t-\t-\t-\t")
+	nn := &ml.NeuralNet{Hidden: 25, Epochs: *epochs, Seed: *seed}
+	fmt.Fprintf(w, "%.1f%%\t\n", 100*evalModel(nn, ml.All, train, test))
+	w.Flush()
+
+	// Linear regression baseline (nine inputs, §VII).
+	lr := &ml.LinearRegression{}
+	fmt.Printf("\nLinear Regression (9 inputs) mean relative error: %.1f%%\n",
+		100*evalModel(lr, ml.LinRegSet, train, test))
+
+	// 5-fold cross-validation of the single-split decision-tree number,
+	// to show how much the 80/20 split moves Table II.
+	Xcv, ycv := dataset.Vectors(ml.Additional, balanced)
+	cv, err := ml.KFoldCV(5, Xcv, ycv, *seed, func() ml.Model {
+		return &ml.DecisionTree{MaxDepth: 20, Seed: *seed}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DT (additional) 5-fold CV: %.1f%% +/- %.1f%%\n", 100*cv.Mean, 100*cv.Std)
+
+	// Fig. 9: decision tree feature importance per set.
+	fmt.Println("\nDT feature importance (Fig. 9):")
+	for _, fs := range sets {
+		fmt.Printf("  %s:\n", fs)
+		printImportance(fs, dtImportance[fs])
+	}
+}
+
+func evalModel(m ml.Model, fs ml.FeatureSet, train, test []dataset.Sample) float64 {
+	Xtr, ytr := dataset.Vectors(fs, train)
+	Xte, yte := dataset.Vectors(fs, test)
+	if err := m.Fit(Xtr, ytr); err != nil {
+		log.Fatalf("fit %s: %v", fs, err)
+	}
+	return ml.MeanRelError(ml.PredictAll(m, Xte), yte)
+}
+
+func printImportance(fs ml.FeatureSet, imp []float64) {
+	names := fs.Names()
+	type pair struct {
+		name string
+		v    float64
+	}
+	pairs := make([]pair, len(imp))
+	for i := range imp {
+		pairs[i] = pair{names[i], imp[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v > pairs[j].v })
+	for _, p := range pairs {
+		if p.v < 0.005 {
+			continue
+		}
+		fmt.Printf("    %-14s %.3f %s\n", p.name, p.v, bar(p.v))
+	}
+}
+
+func bar(v float64) string {
+	n := int(v * 50)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}

@@ -1,0 +1,284 @@
+package macroflow
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"macroflow/internal/baseline"
+	"macroflow/internal/cnv"
+	"macroflow/internal/netlist"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/stitch"
+)
+
+// CFMode selects how the per-block correction factor is chosen.
+type CFMode struct {
+	kind      string
+	constant  float64
+	estimator *Estimator
+}
+
+// ConstantCF implements every block at the given fixed correction
+// factor, escalating by 0.1 when a block is infeasible at it (every
+// attempt counts as a tool run).
+func ConstantCF(cf float64) CFMode { return CFMode{kind: "constant", constant: cf} }
+
+// MinSweepCF searches each block's minimal CF with the flow's sweep.
+func MinSweepCF() CFMode { return CFMode{kind: "minsweep"} }
+
+// EstimatorCF seeds each block's CF from a trained estimator and refines
+// per §VIII.
+func EstimatorCF(e *Estimator) CFMode { return CFMode{kind: "estimator", estimator: e} }
+
+// StitchReport summarizes the SA stitching of the full design.
+type StitchReport struct {
+	Placed          int
+	Unplaced        int
+	FinalCost       float64
+	ConvergenceIter int
+	IllegalMoves    int
+	Iterations      int
+	// FreeTiles and LargestFreeRect describe the leftover fabric: a
+	// large free rectangle alongside unplaced blocks indicates dead
+	// spots and column-incompatibility losses rather than raw area
+	// exhaustion (§IV).
+	FreeTiles       int
+	LargestFreeRect int
+	// Map is an ASCII occupancy rendering of the device (Fig. 5/13).
+	Map string
+	// Trace samples the annealing cost curve (every 256 iterations).
+	Trace []CostPoint
+}
+
+// CostPoint is one sample of the SA cost curve.
+type CostPoint struct {
+	Iter int
+	Cost float64
+}
+
+// IterToReach returns the first sampled iteration at which the cost was
+// at or below the threshold, or -1 if never reached. Comparing one run's
+// IterToReach against another run's final cost measures time-to-equal-
+// quality — the paper's "converged N times faster".
+func (r *StitchReport) IterToReach(cost float64) int {
+	for _, p := range r.Trace {
+		if p.Cost <= cost {
+			return p.Iter
+		}
+	}
+	return -1
+}
+
+// CNVResult is the outcome of running the full flow on cnvW1A1.
+type CNVResult struct {
+	// Blocks holds one result per unique block type (74 entries).
+	Blocks []ModuleResult
+	// InstanceOf maps each block result to its instance count.
+	Instances []int
+	// TotalToolRuns sums the implementation attempts over all blocks.
+	TotalToolRuns int
+	// FirstRunRate is the fraction of estimated blocks feasible on the
+	// first attempt (§VIII: 52.7%).
+	FirstRunRate float64
+	// Stitch is the final design assembly.
+	Stitch StitchReport
+}
+
+// CNVOptions tunes the cnvW1A1 flow run.
+type CNVOptions struct {
+	// Seed drives stitching.
+	Seed int64
+	// StitchIterations is the SA budget (default 200,000).
+	StitchIterations int
+	// SkipStitch computes per-block implementations only.
+	SkipStitch bool
+	// AdaptiveStop lets the annealer terminate once a cost plateau is
+	// reached, making Iterations a convergence-speed measurement.
+	AdaptiveStop bool
+	// Workers bounds block-implementation parallelism.
+	Workers int
+}
+
+// RunCNV implements every unique block of the partitioned cnvW1A1 design
+// under the given CF mode and stitches all 175 instances onto the flow's
+// device.
+func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
+	design := cnv.CNVW1A1()
+	res := &CNVResult{
+		Blocks:    make([]ModuleResult, len(design.Types)),
+		Instances: make([]int, len(design.Types)),
+	}
+	impls := make([]*pblock.Implementation, len(design.Types))
+	errs := make([]error, len(design.Types))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ti := range design.Types {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			impls[ti], res.Blocks[ti], errs[ti] = f.implementType(design, ti, mode)
+		}(ti)
+	}
+	wg.Wait()
+	firstRun, estimated := 0, 0
+	for ti := range design.Types {
+		if errs[ti] != nil {
+			return nil, fmt.Errorf("macroflow: block %s: %w", design.Types[ti].Name, errs[ti])
+		}
+		res.Instances[ti] = design.InstanceCount(ti)
+		res.TotalToolRuns += res.Blocks[ti].ToolRuns
+		if mode.kind == "estimator" && res.Blocks[ti].EstSlices >= 6 {
+			estimated++
+			if res.Blocks[ti].ToolRuns == 1 {
+				firstRun++
+			}
+		}
+	}
+	if estimated > 0 {
+		res.FirstRunRate = float64(firstRun) / float64(estimated)
+	}
+	if opts.SkipStitch {
+		return res, nil
+	}
+
+	prob := f.buildStitchProblem(design, impls)
+	scfg := stitch.DefaultConfig()
+	scfg.Seed = opts.Seed
+	if opts.StitchIterations > 0 {
+		scfg.Iterations = opts.StitchIterations
+	}
+	if opts.AdaptiveStop {
+		scfg.StopWindow = scfg.Iterations / 16
+	}
+	sres := stitch.Run(prob, scfg)
+	res.Stitch = StitchReport{
+		Placed:          sres.Placed,
+		Unplaced:        sres.Unplaced,
+		FinalCost:       sres.FinalCost,
+		ConvergenceIter: sres.ConvergenceIter,
+		IllegalMoves:    sres.IllegalMoves,
+		Iterations:      sres.Iterations,
+		FreeTiles:       sres.FreeTiles,
+		LargestFreeRect: sres.LargestFreeRect,
+		Map:             renderStitch(f, prob, sres),
+	}
+	for _, p := range sres.CostTrace {
+		res.Stitch.Trace = append(res.Stitch.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
+	}
+	return res, nil
+}
+
+// implementType compiles one unique block of the cnv design under the
+// CF mode.
+func (f *Flow) implementType(d *cnv.Design, ti int, mode CFMode) (*pblock.Implementation, ModuleResult, error) {
+	m, err := d.Module(ti)
+	if err != nil {
+		return nil, ModuleResult{}, err
+	}
+	rep := place.QuickPlace(m)
+	sr, err := f.implementModule(m, rep, mode)
+	if err != nil {
+		return nil, ModuleResult{}, err
+	}
+	return sr.Impl, f.moduleResult(m, rep, sr), nil
+}
+
+// implementModule applies a CF policy to an elaborated module.
+func (f *Flow) implementModule(m *netlist.Module, rep place.ShapeReport, mode CFMode) (pblock.SearchResult, error) {
+	switch mode.kind {
+	case "constant":
+		return f.constantImplement(m, rep, mode.constant)
+	case "minsweep":
+		return pblock.MinCF(f.dev, m, rep, f.search, f.cfg)
+	case "estimator":
+		if rep.EstSlices < 6 {
+			// One-or-two-tile blocks: the PBlock is straightforward and
+			// needs no estimator (§VIII); sweep from the window start.
+			return pblock.MinCF(f.dev, m, rep, f.search, f.cfg)
+		}
+		return pblock.FromEstimate(f.dev, m, rep, mode.estimator.predict(rep), f.search, f.cfg)
+	}
+	return pblock.SearchResult{}, fmt.Errorf("macroflow: unknown CF mode %q", mode.kind)
+}
+
+// buildStitchProblem converts implementations plus the block diagram
+// into a stitching task.
+func (f *Flow) buildStitchProblem(d *cnv.Design, impls []*pblock.Implementation) *stitch.Problem {
+	prob := &stitch.Problem{Dev: f.dev}
+	for ti := range d.Types {
+		prob.Blocks = append(prob.Blocks, stitch.NewBlock(d.Types[ti].Name, impls[ti].Placement))
+	}
+	for ii := range d.Instances {
+		prob.Instances = append(prob.Instances, stitch.Instance{
+			Name:  d.Instances[ii].Name,
+			Block: d.Instances[ii].Type,
+		})
+	}
+	for _, n := range d.Nets {
+		prob.Nets = append(prob.Nets, stitch.Net{
+			From: n.From, To: n.To, Weight: float64(n.Width) / 16,
+		})
+	}
+	return prob
+}
+
+// renderStitch draws the stitched placement as ASCII, one character per
+// tile column, rows downsampled (Fig. 5/13 analog). Occupied tiles show
+// the block's kind letter, free fabric '.', clock columns '|'.
+func renderStitch(f *Flow, prob *stitch.Problem, res *stitch.Result) string {
+	w, h := f.dev.NumCols(), f.dev.Rows
+	grid := make([]byte, w*h)
+	for i := range grid {
+		grid[i] = '.'
+	}
+	for x := 0; x < w; x++ {
+		if f.dev.KindAt(x).String() == "K" {
+			for y := 0; y < h; y++ {
+				grid[y*w+x] = '|'
+			}
+		}
+	}
+	for ii, o := range res.Origins {
+		if !o.Placed {
+			continue
+		}
+		b := &prob.Blocks[prob.Instances[ii].Block]
+		ch := byte(strings.ToUpper(prob.Instances[ii].Name)[0])
+		for _, s := range b.Spans {
+			for y := o.Y + s.Min; y <= o.Y+s.Max; y++ {
+				grid[y*w+o.X+s.DX] = ch
+			}
+		}
+	}
+	// Downsample rows by 5 (one clock-region fifth per text row),
+	// printing top row first.
+	var sb strings.Builder
+	for y := h - 5; y >= 0; y -= 5 {
+		row := grid[y*w : y*w+w]
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RunCNVBaseline compiles the flattened cnvW1A1 with the monolithic
+// vendor-style flow (Fig. 5a / Table I comparator) and returns the
+// device utilization achieved.
+func (f *Flow) RunCNVBaseline() (utilization float64, usedSlices int, err error) {
+	d := cnv.CNVW1A1()
+	r, err := baseline.PlaceAll(f.dev, d)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Utilization, r.UsedSlices, nil
+}

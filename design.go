@@ -1,0 +1,255 @@
+package macroflow
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"macroflow/internal/netlist"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/stitch"
+)
+
+// Design is a user-defined block design: unique block types, the
+// instances that replicate them, and the streams connecting instances.
+// It is the generic counterpart of the built-in cnvW1A1 case study —
+// the input a RapidWright-style flow expects.
+type Design struct {
+	types     []*Spec
+	names     []string
+	instances []designInst
+	nets      []designNet
+}
+
+type designInst struct {
+	name string
+	typ  int
+}
+
+type designNet struct {
+	from, to int
+	width    int
+}
+
+// NewDesign returns an empty block design.
+func NewDesign() *Design { return &Design{} }
+
+// AddBlockType registers a unique block configuration and returns its
+// type index. Each type is synthesized and implemented once, no matter
+// how many instances use it.
+func (d *Design) AddBlockType(spec *Spec) int {
+	d.types = append(d.types, spec)
+	d.names = append(d.names, spec.Name())
+	return len(d.types) - 1
+}
+
+// AddInstance adds one occurrence of the given block type and returns
+// its instance index.
+func (d *Design) AddInstance(typeIdx int, name string) (int, error) {
+	if typeIdx < 0 || typeIdx >= len(d.types) {
+		return 0, fmt.Errorf("macroflow: block type %d out of range", typeIdx)
+	}
+	d.instances = append(d.instances, designInst{name: name, typ: typeIdx})
+	return len(d.instances) - 1, nil
+}
+
+// Connect adds a width-bit stream between two instances; the stitcher
+// minimizes the weighted wirelength of these connections.
+func (d *Design) Connect(from, to, width int) error {
+	if from < 0 || from >= len(d.instances) || to < 0 || to >= len(d.instances) {
+		return fmt.Errorf("macroflow: connect endpoints out of range")
+	}
+	if width <= 0 {
+		width = 1
+	}
+	d.nets = append(d.nets, designNet{from: from, to: to, width: width})
+	return nil
+}
+
+// NumTypes returns the number of unique block types.
+func (d *Design) NumTypes() int { return len(d.types) }
+
+// NumInstances returns the number of block instances.
+func (d *Design) NumInstances() int { return len(d.instances) }
+
+// BlockCache stores pre-implemented blocks keyed by device and block
+// configuration — the premise of the whole flow: when one block of a
+// design changes, every other block's placed-and-routed result is reused
+// verbatim (the paper's Introduction scenario).
+type BlockCache struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	impl   *pblock.Implementation
+	result ModuleResult
+}
+
+// NewBlockCache returns an empty cache.
+func NewBlockCache() *BlockCache {
+	return &BlockCache{m: make(map[string]cacheEntry)}
+}
+
+// Len returns the number of cached block implementations.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// key derives the cache key from the device and the full component
+// configuration of the spec (name excluded: renaming a block must not
+// fake a change, but any parameter change must).
+func (c *BlockCache) key(device string, s *Spec) string {
+	return fmt.Sprintf("%s|%#v", device, s.inner.Components)
+}
+
+// CompileOptions tunes Flow.Compile.
+type CompileOptions struct {
+	// Cache, when non-nil, reuses pre-implemented blocks across calls.
+	Cache *BlockCache
+	// Seed drives stitching.
+	Seed int64
+	// StitchIterations is the SA budget (default 200,000).
+	StitchIterations int
+	// SkipStitch implements the blocks only.
+	SkipStitch bool
+	// Workers bounds block-implementation parallelism.
+	Workers int
+}
+
+// CompileResult is the outcome of compiling a generic design.
+type CompileResult struct {
+	// Blocks holds one result per unique type.
+	Blocks []ModuleResult
+	// ToolRuns sums the place-and-route attempts of this call (cache
+	// hits contribute zero).
+	ToolRuns int
+	// CacheHits counts block types served from the cache.
+	CacheHits int
+	// Stitch is the assembled design (zero value when SkipStitch).
+	Stitch StitchReport
+}
+
+// Compile implements every unique block of the design under the CF mode
+// (reusing cached implementations when a cache is supplied) and stitches
+// all instances onto the flow's device.
+func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileResult, error) {
+	if len(d.types) == 0 {
+		return nil, fmt.Errorf("macroflow: empty design")
+	}
+	res := &CompileResult{Blocks: make([]ModuleResult, len(d.types))}
+	impls := make([]*pblock.Implementation, len(d.types))
+	hits := make([]bool, len(d.types))
+	errs := make([]error, len(d.types))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ti := range d.types {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.compileBlock(d.types[ti], mode, opts.Cache)
+		}(ti)
+	}
+	wg.Wait()
+	for ti := range d.types {
+		if errs[ti] != nil {
+			return nil, fmt.Errorf("macroflow: block %s: %w", d.names[ti], errs[ti])
+		}
+		if hits[ti] {
+			res.CacheHits++
+		} else {
+			res.ToolRuns += res.Blocks[ti].ToolRuns
+		}
+	}
+	if opts.SkipStitch {
+		return res, nil
+	}
+
+	prob := &stitch.Problem{Dev: f.dev}
+	for ti := range d.types {
+		prob.Blocks = append(prob.Blocks, stitch.NewBlock(d.names[ti], impls[ti].Placement))
+	}
+	for _, in := range d.instances {
+		prob.Instances = append(prob.Instances, stitch.Instance{Name: in.name, Block: in.typ})
+	}
+	for _, n := range d.nets {
+		prob.Nets = append(prob.Nets, stitch.Net{From: n.from, To: n.to, Weight: float64(n.width) / 16})
+	}
+	scfg := stitch.DefaultConfig()
+	scfg.Seed = opts.Seed
+	if opts.StitchIterations > 0 {
+		scfg.Iterations = opts.StitchIterations
+	}
+	sres := stitch.Run(prob, scfg)
+	res.Stitch = StitchReport{
+		Placed:          sres.Placed,
+		Unplaced:        sres.Unplaced,
+		FinalCost:       sres.FinalCost,
+		ConvergenceIter: sres.ConvergenceIter,
+		IllegalMoves:    sres.IllegalMoves,
+		Iterations:      sres.Iterations,
+		FreeTiles:       sres.FreeTiles,
+		LargestFreeRect: sres.LargestFreeRect,
+		Map:             renderStitch(f, prob, sres),
+	}
+	for _, p := range sres.CostTrace {
+		res.Stitch.Trace = append(res.Stitch.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
+	}
+	return res, nil
+}
+
+// compileBlock implements one block type, consulting the cache first.
+func (f *Flow) compileBlock(spec *Spec, mode CFMode, cache *BlockCache) (*pblock.Implementation, ModuleResult, bool, error) {
+	var key string
+	if cache != nil {
+		key = cache.key(f.dev.Name, spec)
+		cache.mu.Lock()
+		if e, ok := cache.m[key]; ok {
+			cache.mu.Unlock()
+			return e.impl, e.result, true, nil
+		}
+		cache.mu.Unlock()
+	}
+	m, rep, err := f.compile(spec)
+	if err != nil {
+		return nil, ModuleResult{}, false, err
+	}
+	sr, err := f.implementModule(m, rep, mode)
+	if err != nil {
+		return nil, ModuleResult{}, false, err
+	}
+	result := f.moduleResult(m, rep, sr)
+	if cache != nil {
+		cache.mu.Lock()
+		cache.m[key] = cacheEntry{impl: sr.Impl, result: result}
+		cache.mu.Unlock()
+	}
+	return sr.Impl, result, false, nil
+}
+
+// constantImplement is the escalating constant-CF policy shared with the
+// cnv flow.
+func (f *Flow) constantImplement(m *netlist.Module, rep place.ShapeReport, cf float64) (pblock.SearchResult, error) {
+	runs := 0
+	for {
+		runs++
+		impl, err := pblock.Implement(f.dev, m, rep, cf, f.cfg)
+		if err == nil {
+			return pblock.SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
+		}
+		cf += 0.1
+		if cf > f.search.Max {
+			return pblock.SearchResult{}, err
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package macroflow
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"macroflow/internal/ml"
+)
+
+// estimatorFile is the on-disk wrapper around a serialized model.
+type estimatorFile struct {
+	Kind       EstimatorKind   `json:"kind"`
+	FeatureSet string          `json:"featureSet"`
+	Model      json.RawMessage `json:"model"`
+}
+
+// SaveEstimator writes a trained estimator (model, family and feature
+// set) as JSON, so it can be stored next to a design and reused without
+// regenerating the training dataset.
+func SaveEstimator(w io.Writer, e *Estimator) error {
+	if e == nil {
+		return fmt.Errorf("macroflow: nil estimator")
+	}
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, e.model); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(&estimatorFile{
+		Kind:       e.kind,
+		FeatureSet: e.fs.String(),
+		Model:      json.RawMessage(buf.Bytes()),
+	})
+}
+
+// LoadEstimator reads an estimator written by SaveEstimator.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	var f estimatorFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("macroflow: load estimator: %w", err)
+	}
+	model, err := ml.LoadModel(bytes.NewReader(f.Model))
+	if err != nil {
+		return nil, err
+	}
+	var fs ml.FeatureSet
+	switch f.FeatureSet {
+	case ml.Classical.String():
+		fs = ml.Classical
+	case ml.ClassicalPlacement.String():
+		fs = ml.ClassicalPlacement
+	case ml.Additional.String():
+		fs = ml.Additional
+	case ml.All.String():
+		fs = ml.All
+	case ml.LinRegSet.String():
+		fs = ml.LinRegSet
+	default:
+		return nil, fmt.Errorf("macroflow: unknown feature set %q in estimator file", f.FeatureSet)
+	}
+	return &Estimator{model: model, fs: fs, kind: f.Kind}, nil
+}

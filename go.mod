@@ -1,0 +1,3 @@
+module macroflow
+
+go 1.22

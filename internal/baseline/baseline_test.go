@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"macroflow/internal/cnv"
+	"macroflow/internal/fabric"
+)
+
+func TestFlattenPreservesTotals(t *testing.T) {
+	d := cnv.CNVW1A1()
+	flat, err := Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 0
+	for ii := range d.Instances {
+		m, err := d.Module(d.Instances[ii].Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCells += m.NumCells()
+	}
+	if flat.NumCells() != wantCells {
+		t.Errorf("flattened cells = %d, want %d", flat.NumCells(), wantCells)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("flattened netlist invalid: %v", err)
+	}
+}
+
+func TestFlattenKeepsControlSetsDisjoint(t *testing.T) {
+	d := cnv.CNVW1A1()
+	flat, err := Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCS := 0
+	for ii := range d.Instances {
+		m, _ := d.Module(d.Instances[ii].Type)
+		wantCS += len(m.ControlSets)
+	}
+	if len(flat.ControlSets) != wantCS {
+		t.Errorf("control sets = %d, want %d (per-instance disjoint)", len(flat.ControlSets), wantCS)
+	}
+}
+
+func TestPlaceAllFillsTheDevice(t *testing.T) {
+	dev := fabric.XC7Z020()
+	res, err := PlaceAll(dev, cnv.CNVW1A1())
+	if err != nil {
+		t.Fatalf("the monolithic flow must place the full design: %v", err)
+	}
+	// The paper's AMD run uses 99.98% of the slices. Our block sizes are
+	// calibrated primarily to reproduce the stitching results (Fig. 5),
+	// which leaves the monolithic pack at a somewhat lower utilization;
+	// it must still be clearly device-filling.
+	if res.Utilization < 0.80 {
+		t.Errorf("utilization = %.2f%%, want > 80%%", 100*res.Utilization)
+	}
+	if res.Utilization > 1.0 {
+		t.Errorf("utilization above 1: %f", res.Utilization)
+	}
+}
+
+func TestImplementInstanceVariesByContext(t *testing.T) {
+	dev := fabric.XC7Z020()
+	d := cnv.CNVW1A1()
+	var used []int
+	for ii, inst := range d.Instances {
+		if d.Types[inst.Type].Name != "mvau_18" {
+			continue
+		}
+		r, err := ImplementInstance(dev, d, ii)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used = append(used, r.UsedSlices)
+	}
+	if len(used) != 4 {
+		t.Fatalf("mvau_18 instances = %d, want 4", len(used))
+	}
+	// Each standalone compile must be in a sane range around the block
+	// size (Table I: 29-34 slices for the real module).
+	for _, u := range used {
+		if u < 10 || u > 200 {
+			t.Errorf("instance used %d slices, out of range", u)
+		}
+	}
+}
+
+func TestImplementInstanceRejectsBadIndex(t *testing.T) {
+	dev := fabric.XC7Z020()
+	d := cnv.CNVW1A1()
+	if _, err := ImplementInstance(dev, d, -1); err == nil {
+		t.Error("negative index must fail")
+	}
+	if _, err := ImplementInstance(dev, d, len(d.Instances)); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+}

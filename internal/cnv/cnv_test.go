@@ -1,0 +1,195 @@
+package cnv
+
+import (
+	"strings"
+	"testing"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/place"
+)
+
+func TestInventoryMatchesPaper(t *testing.T) {
+	d := CNVW1A1()
+	if got := len(d.Instances); got != 175 {
+		t.Errorf("instances = %d, want 175", got)
+	}
+	if got := len(d.Types); got != 74 {
+		t.Errorf("unique types = %d, want 74", got)
+	}
+}
+
+func TestReuseProfile(t *testing.T) {
+	d := CNVW1A1()
+	counts := map[string]int{}
+	for _, in := range d.Instances {
+		counts[d.Types[in.Type].Name]++
+	}
+	// Multiplicity histogram: how many types occur k times.
+	mult := map[int]int{}
+	for _, c := range counts {
+		mult[c]++
+	}
+	// Paper: 48-way reuse (layers 1/2 MVAU) and 20-way (layers 3/4).
+	want := map[int]int{48: 1, 20: 1, 4: 6, 3: 4, 2: 9, 1: 53}
+	for k, v := range want {
+		if mult[k] != v {
+			t.Errorf("types with %d instances = %d, want %d", k, mult[k], v)
+		}
+	}
+	if counts["mvau_l12"] != 48 {
+		t.Errorf("mvau_l12 instances = %d, want 48", counts["mvau_l12"])
+	}
+	if counts["mvau_l34"] != 20 {
+		t.Errorf("mvau_l34 instances = %d, want 20", counts["mvau_l34"])
+	}
+	// Table I: mvau_18 has four instances, weights_14 one.
+	if counts["mvau_18"] != 4 {
+		t.Errorf("mvau_18 instances = %d, want 4", counts["mvau_18"])
+	}
+	if counts["weights_14"] != 1 {
+		t.Errorf("weights_14 instances = %d, want 1", counts["weights_14"])
+	}
+}
+
+func TestAllModulesElaborate(t *testing.T) {
+	d := CNVW1A1()
+	for ti := range d.Types {
+		m, err := d.Module(ti)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Types[ti].Name, err)
+		}
+		if m.NumCells() == 0 {
+			t.Errorf("%s: empty netlist", d.Types[ti].Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Types[ti].Name, err)
+		}
+	}
+}
+
+func TestWeights14IsLargestBlock(t *testing.T) {
+	d := CNVW1A1()
+	maxEst, maxName := 0, ""
+	for ti := range d.Types {
+		m, err := d.Module(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := place.QuickPlace(m)
+		if rep.EstSlices > maxEst {
+			maxEst, maxName = rep.EstSlices, d.Types[ti].Name
+		}
+	}
+	if maxName != "weights_14" {
+		t.Errorf("largest block = %s (%d slices), want weights_14", maxName, maxEst)
+	}
+	// The paper's weights_14 uses ~1.4k slices.
+	if maxEst < 900 || maxEst > 1900 {
+		t.Errorf("weights_14 est = %d, want roughly 1.3k", maxEst)
+	}
+}
+
+func TestDesignFillsDevice(t *testing.T) {
+	d := CNVW1A1()
+	dev := fabric.XC7Z020()
+	total := 0
+	for ti := range d.Types {
+		m, err := d.Module(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := place.QuickPlace(m)
+		total += rep.EstSlices * d.InstanceCount(ti)
+	}
+	slices := dev.Resources().Slices()
+	// The design must be device-filling: the paper's flow struggles
+	// precisely because cnvW1A1 uses most of the xc7z020.
+	if total < slices*9/10 {
+		t.Errorf("total est slices %d < 90%% of device %d", total, slices)
+	}
+}
+
+func TestNetsReferenceValidInstances(t *testing.T) {
+	d := CNVW1A1()
+	for ni, n := range d.Nets {
+		if n.From < 0 || n.From >= len(d.Instances) || n.To < 0 || n.To >= len(d.Instances) {
+			t.Fatalf("net %d endpoints out of range: %+v", ni, n)
+		}
+		if n.Width <= 0 {
+			t.Errorf("net %d has non-positive width", ni)
+		}
+	}
+	// Every instance participates in the diagram.
+	connected := make([]bool, len(d.Instances))
+	for _, n := range d.Nets {
+		connected[n.From] = true
+		connected[n.To] = true
+	}
+	for ii, c := range connected {
+		if !c {
+			t.Errorf("instance %s is disconnected", d.Instances[ii].Name)
+		}
+	}
+}
+
+func TestInstanceNamesUnique(t *testing.T) {
+	d := CNVW1A1()
+	seen := map[string]bool{}
+	for _, in := range d.Instances {
+		if seen[in.Name] {
+			t.Fatalf("duplicate instance name %s", in.Name)
+		}
+		seen[in.Name] = true
+	}
+}
+
+func TestBlockKindsPresent(t *testing.T) {
+	d := CNVW1A1()
+	kinds := map[BlockKind]int{}
+	for i := range d.Types {
+		kinds[d.Types[i].Kind]++
+	}
+	for _, k := range []BlockKind{KindMVAU, KindWeights, KindSWU, KindThres, KindPool, KindFIFO, KindDWC} {
+		if kinds[k] == 0 {
+			t.Errorf("no block types of kind %s", k)
+		}
+	}
+	// Weight memories per layer bank schedule.
+	if kinds[KindWeights] != 30 {
+		t.Errorf("weight banks = %d, want 30", kinds[KindWeights])
+	}
+}
+
+func TestTypeIndex(t *testing.T) {
+	d := CNVW1A1()
+	if ti := d.TypeIndex("weights_14"); ti < 0 || d.Types[ti].Name != "weights_14" {
+		t.Error("TypeIndex(weights_14) broken")
+	}
+	if d.TypeIndex("nope") != -1 {
+		t.Error("unknown type must return -1")
+	}
+}
+
+func TestModuleCaching(t *testing.T) {
+	d := CNVW1A1()
+	a, err := d.Module(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Module(0)
+	if a != b {
+		t.Error("Module must cache elaborations")
+	}
+}
+
+func TestMVAUNamesFollowLayers(t *testing.T) {
+	d := CNVW1A1()
+	for _, in := range d.Instances {
+		ty := &d.Types[in.Type]
+		if ty.Kind == KindMVAU && in.Layer >= 1 && in.Layer <= 2 {
+			if !strings.HasPrefix(ty.Name, "mvau_l12") {
+				t.Errorf("layer %d MVAU uses type %s", in.Layer, ty.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"testing"
+
+	"macroflow/internal/ml"
+)
+
+func smallConfig(n int, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Modules = n
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestGenerateProducesLabeledSamples(t *testing.T) {
+	samples, err := Generate(smallConfig(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 30 {
+		t.Fatalf("only %d/40 modules labeled", len(samples))
+	}
+	for _, s := range samples {
+		if s.CF < 0.9-1e-9 || s.CF > 2.5+1e-9 {
+			t.Errorf("%s: CF %f outside search range", s.Name, s.CF)
+		}
+		if s.Features.EstSlices <= 0 {
+			t.Errorf("%s: missing features", s.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].CF != b[i].CF {
+			t.Errorf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Modules: 0}); err == nil {
+		t.Error("zero modules must fail")
+	}
+}
+
+func TestBalanceCapsBins(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		samples = append(samples, Sample{Name: "a", CF: 1.0})
+	}
+	for i := 0; i < 10; i++ {
+		samples = append(samples, Sample{Name: "b", CF: 1.5})
+	}
+	out := Balance(samples, 75, 1)
+	h := Histogram(out)
+	if h[Bin(1.0)] != 75 {
+		t.Errorf("bin 1.0 has %d, want 75", h[Bin(1.0)])
+	}
+	if h[Bin(1.5)] != 10 {
+		t.Errorf("bin 1.5 has %d, want 10 (below cap)", h[Bin(1.5)])
+	}
+	if len(out) != 85 {
+		t.Errorf("balanced size = %d, want 85", len(out))
+	}
+}
+
+func TestBalanceDeterministic(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		samples = append(samples, Sample{Name: string(rune('a' + i%26)), CF: 1.0 + float64(i%5)*0.02})
+	}
+	a := Balance(samples, 5, 42)
+	b := Balance(samples, 5, 42)
+	if len(a) != len(b) {
+		t.Fatal("balance not deterministic")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("balance order not deterministic")
+		}
+	}
+}
+
+func TestSplitProportions(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i].CF = float64(i)
+	}
+	train, test := Split(samples, 0.8, 7)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split = %d/%d, want 80/20", len(train), len(test))
+	}
+	seen := map[float64]bool{}
+	for _, s := range train {
+		seen[s.CF] = true
+	}
+	for _, s := range test {
+		if seen[s.CF] {
+			t.Fatal("train and test overlap")
+		}
+	}
+}
+
+func TestSplitEdgeFractions(t *testing.T) {
+	samples := make([]Sample, 10)
+	tr, te := Split(samples, 0, 1)
+	if len(tr) != 0 || len(te) != 10 {
+		t.Error("frac 0 must put everything in test")
+	}
+	tr, te = Split(samples, 2.0, 1)
+	if len(tr) != 10 || len(te) != 0 {
+		t.Error("frac > 1 must clamp")
+	}
+}
+
+func TestBinGrid(t *testing.T) {
+	if Bin(0.90) != 45 || Bin(1.0) != 50 || Bin(1.68) != 84 {
+		t.Errorf("bins: %d %d %d", Bin(0.90), Bin(1.0), Bin(1.68))
+	}
+}
+
+func TestVectorsShape(t *testing.T) {
+	samples := []Sample{
+		{Features: ml.Features{LUTs: 10, EstSlices: 3, TotalCells: 12}, CF: 1.1},
+		{Features: ml.Features{LUTs: 20, EstSlices: 6, TotalCells: 25}, CF: 1.3},
+	}
+	X, y := Vectors(ml.Classical, samples)
+	if len(X) != 2 || len(y) != 2 {
+		t.Fatal("wrong sizes")
+	}
+	if len(X[0]) != len(ml.Classical.Names()) {
+		t.Fatal("wrong width")
+	}
+	if y[0] != 1.1 || y[1] != 1.3 {
+		t.Fatal("targets wrong")
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// CVResult summarizes a k-fold cross-validation.
+type CVResult struct {
+	// FoldErrors holds the per-fold mean relative errors.
+	FoldErrors []float64
+	// Mean and Std aggregate them.
+	Mean, Std float64
+}
+
+// KFoldCV shuffles the samples with the given seed, splits them into k
+// folds, and trains a fresh model (from factory) on each k-1 subset,
+// evaluating the mean relative error on the held-out fold. It gives a
+// variance estimate for the single-split numbers of Table II.
+func KFoldCV(k int, X [][]float64, y []float64, seed int64, factory func() Model) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, errors.New("ml: k must be at least 2")
+	}
+	if len(X) != len(y) || len(X) < k {
+		return CVResult{}, errors.New("ml: not enough samples for k folds")
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	var res CVResult
+	for f := 0; f < k; f++ {
+		lo := f * len(idx) / k
+		hi := (f + 1) * len(idx) / k
+		var Xtr, Xte [][]float64
+		var ytr, yte []float64
+		for p, i := range idx {
+			if p >= lo && p < hi {
+				Xte = append(Xte, X[i])
+				yte = append(yte, y[i])
+			} else {
+				Xtr = append(Xtr, X[i])
+				ytr = append(ytr, y[i])
+			}
+		}
+		m := factory()
+		if err := m.Fit(Xtr, ytr); err != nil {
+			return CVResult{}, err
+		}
+		res.FoldErrors = append(res.FoldErrors, MeanRelError(PredictAll(m, Xte), yte))
+	}
+	for _, e := range res.FoldErrors {
+		res.Mean += e
+	}
+	res.Mean /= float64(k)
+	for _, e := range res.FoldErrors {
+		res.Std += (e - res.Mean) * (e - res.Mean)
+	}
+	res.Std = math.Sqrt(res.Std / float64(k))
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package ml
+
+import "errors"
+
+// GradientBoost is a gradient-boosted ensemble of shallow regression
+// trees fit to residuals — an estimator family beyond the paper's four,
+// included because boosted trees are the natural next step the paper's
+// "motivating further research" points at.
+type GradientBoost struct {
+	// Trees is the number of boosting stages (default 300).
+	Trees int
+	// MaxDepth bounds each stage's tree (default 4 — boosting wants
+	// weak learners, unlike the deep trees of the forest).
+	MaxDepth int
+	// LearningRate shrinks each stage's contribution (default 0.1).
+	LearningRate float64
+	// MinLeaf is the per-leaf minimum (default 4).
+	MinLeaf int
+	// Seed drives nothing today (stages are deterministic) but is kept
+	// for interface symmetry with the other ensembles.
+	Seed int64
+
+	base   float64
+	stages []*DecisionTree
+}
+
+var _ Model = (*GradientBoost)(nil)
+var _ Importancer = (*GradientBoost)(nil)
+
+func (g *GradientBoost) defaults() {
+	if g.Trees <= 0 {
+		g.Trees = 300
+	}
+	if g.MaxDepth <= 0 {
+		g.MaxDepth = 4
+	}
+	if g.LearningRate <= 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MinLeaf <= 0 {
+		g.MinLeaf = 4
+	}
+}
+
+// Fit trains the boosted ensemble on squared error: each stage fits a
+// shallow tree to the current residuals.
+func (g *GradientBoost) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return errors.New("ml: empty or mismatched training data")
+	}
+	g.defaults()
+	g.base = mean(y)
+	g.stages = g.stages[:0]
+
+	residual := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range y {
+		pred[i] = g.base
+	}
+	for stage := 0; stage < g.Trees; stage++ {
+		for i := range y {
+			residual[i] = y[i] - pred[i]
+		}
+		t := &DecisionTree{MaxDepth: g.MaxDepth, MinLeaf: g.MinLeaf, Seed: g.Seed + int64(stage)}
+		if err := t.Fit(X, residual); err != nil {
+			return err
+		}
+		g.stages = append(g.stages, t)
+		for i := range y {
+			pred[i] += g.LearningRate * t.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (g *GradientBoost) Predict(x []float64) float64 {
+	v := g.base
+	for _, t := range g.stages {
+		v += g.LearningRate * t.Predict(x)
+	}
+	return v
+}
+
+// FeatureImportance aggregates the stages' variance-reduction
+// importance, normalized to sum 1.
+func (g *GradientBoost) FeatureImportance() []float64 {
+	if len(g.stages) == 0 {
+		return nil
+	}
+	out := make([]float64, len(g.stages[0].importance))
+	for _, t := range g.stages {
+		for i, v := range t.FeatureImportance() {
+			out[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model is a trained regression estimator mapping a feature vector to a
+// predicted correction factor.
+type Model interface {
+	// Fit trains on rows X with targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) float64
+}
+
+// Importancer is implemented by models that expose per-feature
+// importance values summing to 1 (Figs. 9 and 12).
+type Importancer interface {
+	FeatureImportance() []float64
+}
+
+// LinearRegression is an ordinary-least-squares model with a small ridge
+// term for numerical stability, solved by normal equations.
+type LinearRegression struct {
+	// Ridge is the L2 regularization strength (default 1e-6).
+	Ridge float64
+	// Weights holds the fitted coefficients; Weights[0] is the bias.
+	Weights []float64
+}
+
+var _ Model = (*LinearRegression)(nil)
+
+// Fit solves (X'X + rI) w = X'y with an augmented bias column.
+func (lr *LinearRegression) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return errors.New("ml: empty or mismatched training data")
+	}
+	p := len(X[0]) + 1
+	ridge := lr.Ridge
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	// Normal matrix A = X'X (+ridge), vector b = X'y, with bias column.
+	A := make([][]float64, p)
+	for i := range A {
+		A[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	row := make([]float64, p)
+	for i, x := range X {
+		if len(x) != p-1 {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(x), p-1)
+		}
+		row[0] = 1
+		copy(row[1:], x)
+		for j := 0; j < p; j++ {
+			for k := 0; k < p; k++ {
+				A[j][k] += row[j] * row[k]
+			}
+			b[j] += row[j] * y[i]
+		}
+	}
+	for j := 1; j < p; j++ {
+		A[j][j] += ridge
+	}
+	w, err := solve(A, b)
+	if err != nil {
+		return err
+	}
+	lr.Weights = w
+	return nil
+}
+
+// Predict implements Model.
+func (lr *LinearRegression) Predict(x []float64) float64 {
+	if len(lr.Weights) == 0 {
+		return 0
+	}
+	v := lr.Weights[0]
+	for i, xi := range x {
+		if i+1 < len(lr.Weights) {
+			v += lr.Weights[i+1] * xi
+		}
+	}
+	return v
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// A and b.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[best][col]) {
+				best = r
+			}
+		}
+		if abs(m[best][col]) < 1e-12 {
+			return nil, errors.New("ml: singular normal matrix")
+		}
+		m[col], m[best] = m[best], m[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m[i][n] / m[i][i]
+	}
+	return w, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

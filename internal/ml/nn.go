@@ -1,0 +1,273 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// NeuralNet is the paper's §VI-B estimator: a shallow feed-forward
+// network with one fully connected hidden layer (default 25 neurons),
+// ReLU activation, a linear output, trained with ADAM on mean squared
+// error. Inputs are standardized internally.
+type NeuralNet struct {
+	// Hidden is the hidden layer width (default 25).
+	Hidden int
+	// Epochs is the number of training passes (default 600).
+	Epochs int
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// LearningRate is the ADAM step size (default 1e-3).
+	LearningRate float64
+	// Dropout is the hidden-layer dropout probability during training
+	// (the paper considered dropout but did not use it; default 0).
+	Dropout float64
+	// Seed makes initialization and shuffling deterministic.
+	Seed int64
+
+	// Learned parameters.
+	w1, b1 []float64 // hidden weights [Hidden x p] (row-major), biases
+	w2     []float64 // output weights [Hidden]
+	b2     float64
+	mean   []float64 // input standardization
+	std    []float64
+	p      int
+}
+
+var _ Model = (*NeuralNet)(nil)
+
+func (n *NeuralNet) defaults() {
+	if n.Hidden <= 0 {
+		n.Hidden = 25
+	}
+	if n.Epochs <= 0 {
+		n.Epochs = 600
+	}
+	if n.BatchSize <= 0 {
+		n.BatchSize = 32
+	}
+	if n.LearningRate <= 0 {
+		n.LearningRate = 1e-3
+	}
+}
+
+// Fit trains the network.
+func (n *NeuralNet) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return errors.New("ml: empty or mismatched training data")
+	}
+	n.defaults()
+	n.p = len(X[0])
+	n.fitScaler(X)
+	Xs := make([][]float64, len(X))
+	for i, x := range X {
+		Xs[i] = n.scale(x)
+	}
+
+	rng := rand.New(rand.NewSource(n.Seed + 1))
+	h, p := n.Hidden, n.p
+	n.w1 = make([]float64, h*p)
+	n.b1 = make([]float64, h)
+	n.w2 = make([]float64, h)
+	// He initialization for ReLU.
+	s1 := math.Sqrt(2.0 / float64(p))
+	for i := range n.w1 {
+		n.w1[i] = rng.NormFloat64() * s1
+	}
+	s2 := math.Sqrt(2.0 / float64(h))
+	for i := range n.w2 {
+		n.w2[i] = rng.NormFloat64() * s2
+	}
+	n.b2 = mean(y) // start at the target mean
+
+	// ADAM state.
+	adam := newAdam(len(n.w1)+len(n.b1)+len(n.w2)+1, n.LearningRate)
+	gw1 := make([]float64, len(n.w1))
+	gb1 := make([]float64, len(n.b1))
+	gw2 := make([]float64, len(n.w2))
+	var gb2 float64
+
+	idx := make([]int, len(Xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	hid := make([]float64, h)
+	dropScale := 1.0
+	if n.Dropout > 0 && n.Dropout < 1 {
+		dropScale = 1 / (1 - n.Dropout)
+	}
+	for epoch := 0; epoch < n.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += n.BatchSize {
+			end := start + n.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			zero(gw1)
+			zero(gb1)
+			zero(gw2)
+			gb2 = 0
+			inv := 1.0 / float64(len(batch))
+			for _, bi := range batch {
+				x := Xs[bi]
+				// Forward (with inverted dropout while training).
+				pred := n.b2
+				for j := 0; j < h; j++ {
+					a := n.b1[j]
+					wrow := n.w1[j*p : (j+1)*p]
+					for k, xv := range x {
+						a += wrow[k] * xv
+					}
+					if a < 0 {
+						a = 0
+					}
+					if n.Dropout > 0 && rng.Float64() < n.Dropout {
+						a = 0
+					} else {
+						a *= dropScale
+					}
+					hid[j] = a
+					pred += n.w2[j] * a
+				}
+				// Backward (MSE).
+				d := 2 * (pred - y[bi]) * inv
+				gb2 += d
+				for j := 0; j < h; j++ {
+					gw2[j] += d * hid[j]
+					if hid[j] > 0 {
+						dj := d * n.w2[j] * dropScale
+						gb1[j] += dj
+						grow := gw1[j*p : (j+1)*p]
+						for k, xv := range x {
+							grow[k] += dj * xv
+						}
+					}
+				}
+			}
+			// ADAM update over the flattened parameter vector.
+			adam.step(func(i int) float64 {
+				switch {
+				case i < len(gw1):
+					return gw1[i]
+				case i < len(gw1)+len(gb1):
+					return gb1[i-len(gw1)]
+				case i < len(gw1)+len(gb1)+len(gw2):
+					return gw2[i-len(gw1)-len(gb1)]
+				default:
+					return gb2
+				}
+			}, func(i int, delta float64) {
+				switch {
+				case i < len(n.w1):
+					n.w1[i] += delta
+				case i < len(n.w1)+len(n.b1):
+					n.b1[i-len(n.w1)] += delta
+				case i < len(n.w1)+len(n.b1)+len(n.w2):
+					n.w2[i-len(n.w1)-len(n.b1)] += delta
+				default:
+					n.b2 += delta
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (n *NeuralNet) Predict(x []float64) float64 {
+	if n.p == 0 {
+		return 0
+	}
+	xs := n.scale(x)
+	pred := n.b2
+	for j := 0; j < n.Hidden; j++ {
+		a := n.b1[j]
+		wrow := n.w1[j*n.p : (j+1)*n.p]
+		for k := 0; k < n.p && k < len(xs); k++ {
+			a += wrow[k] * xs[k]
+		}
+		if a > 0 {
+			pred += n.w2[j] * a
+		}
+	}
+	return pred
+}
+
+func (n *NeuralNet) fitScaler(X [][]float64) {
+	p := n.p
+	n.mean = make([]float64, p)
+	n.std = make([]float64, p)
+	for _, x := range X {
+		for j := 0; j < p; j++ {
+			n.mean[j] += x[j]
+		}
+	}
+	for j := range n.mean {
+		n.mean[j] /= float64(len(X))
+	}
+	for _, x := range X {
+		for j := 0; j < p; j++ {
+			d := x[j] - n.mean[j]
+			n.std[j] += d * d
+		}
+	}
+	for j := range n.std {
+		n.std[j] = math.Sqrt(n.std[j] / float64(len(X)))
+		if n.std[j] < 1e-9 {
+			n.std[j] = 1
+		}
+	}
+}
+
+func (n *NeuralNet) scale(x []float64) []float64 {
+	out := make([]float64, n.p)
+	for j := 0; j < n.p && j < len(x); j++ {
+		out[j] = (x[j] - n.mean[j]) / n.std[j]
+	}
+	return out
+}
+
+// adam is a standard ADAM optimizer over a flat parameter vector.
+type adam struct {
+	m, v       []float64
+	lr, b1, b2 float64
+	t          int
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), lr: lr, b1: 0.9, b2: 0.999}
+}
+
+// step applies one ADAM update; grad(i) reads gradients, apply(i, delta)
+// writes parameter deltas.
+func (a *adam) step(grad func(int) float64, apply func(int, float64)) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i := range a.m {
+		g := grad(i)
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*g
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*g*g
+		mh := a.m[i] / c1
+		vh := a.v[i] / c2
+		apply(i, -a.lr*mh/(math.Sqrt(vh)+1e-8))
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

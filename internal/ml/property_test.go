@@ -1,0 +1,98 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"macroflow/internal/place"
+)
+
+// Property: every feature vector of every set is finite for arbitrary
+// (non-negative) shape reports — the models must never see NaN/Inf.
+func TestFeatureVectorsFiniteProperty(t *testing.T) {
+	sets := []FeatureSet{Classical, ClassicalPlacement, Additional, All, LinRegSet}
+	f := func(l, ff, cy, lr, sr, cs, fo uint16, est uint16, shapes uint8) bool {
+		rep := place.ShapeReport{
+			EstSlices:  int(est) % 4000,
+			EstSlicesM: int(lr) % 500,
+		}
+		rep.Stats.LUTs = int(l)
+		rep.Stats.FFs = int(ff)
+		rep.Stats.Carrys = int(cy)
+		rep.Stats.LUTRAMs = int(lr)
+		rep.Stats.SRLs = int(sr)
+		rep.Stats.ControlSets = int(cs) % 100
+		rep.Stats.MaxFanout = int(fo)
+		for i := 0; i < int(shapes)%6; i++ {
+			rep.CarryShapes = append(rep.CarryShapes, 1+i)
+			if 1+i > rep.MaxShapeHeight {
+				rep.MaxShapeHeight = 1 + i
+			}
+		}
+		feats := Extract(rep)
+		for _, fs := range sets {
+			for _, v := range fs.Vector(feats) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linear regression reproduces any affine function of the
+// inputs to numerical precision.
+func TestLinearRegressionExactProperty(t *testing.T) {
+	f := func(w0, w1, w2 int8, seed int64) bool {
+		a := float64(w0) / 16
+		b := float64(w1) / 16
+		c := float64(w2) / 16
+		rng := rand.New(rand.NewSource(seed))
+		X := make([][]float64, 40)
+		y := make([]float64, 40)
+		for i := range X {
+			X[i] = []float64{rng.Float64() * 4, rng.Float64() * 4}
+			y[i] = a + b*X[i][0] + c*X[i][1]
+		}
+		lr := &LinearRegression{}
+		if lr.Fit(X, y) != nil {
+			return false
+		}
+		probe := []float64{1.7, 2.3}
+		want := a + b*probe[0] + c*probe[1]
+		return math.Abs(lr.Predict(probe)-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forest predictions are the mean of tree predictions, hence
+// always within the trees' prediction range.
+func TestForestWithinTreeRangeProperty(t *testing.T) {
+	X, y := makeNonlinear(120, 71)
+	rf := &RandomForest{Trees: 12, MaxDepth: 6, Seed: 3}
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		x := []float64{float64(a) / 128, float64(b) / 128}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, tr := range rf.forest {
+			v := tr.Predict(x)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		p := rf.Predict(x)
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

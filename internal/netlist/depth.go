@@ -1,0 +1,118 @@
+package netlist
+
+// TopologicalDepth computes the longest combinational path in LUT levels
+// by traversing the netlist: sequential cells, block RAMs and DSPs cut
+// paths (their outputs restart at level zero). Combinational loops
+// (which the generators never produce, but arbitrary netlists might) are
+// broken by ignoring back edges discovered during the traversal.
+//
+// It serves as the ground-truth check for the LogicDepth hint that
+// elaboration attaches to modules.
+func (m *Module) TopologicalDepth() int {
+	// depth[c] = longest combinational path ending at cell c's output,
+	// counted in combinational cells (LUT/carry).
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, len(m.Cells))
+	depth := make([]int, len(m.Cells))
+
+	// inputsOf[c] lists the driver cells feeding c.
+	inputsOf := make([][]CellID, len(m.Cells))
+	for ni := range m.Nets {
+		n := &m.Nets[ni]
+		if n.Driver == NoID {
+			continue
+		}
+		for _, s := range n.Sinks {
+			inputsOf[s] = append(inputsOf[s], n.Driver)
+		}
+	}
+
+	combinational := func(c CellID) bool {
+		k := m.Cells[c].Kind
+		return k == CellLUT || k == CellCarry
+	}
+
+	// Iterative DFS to avoid recursion depth limits on long chains.
+	type frame struct {
+		cell CellID
+		next int
+	}
+	var stack []frame
+	visit := func(root CellID) {
+		if state[root] != unvisited {
+			return
+		}
+		stack = append(stack[:0], frame{cell: root})
+		state[root] = visiting
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if !combinational(f.cell) {
+				// Sequential/block cells cut the path.
+				depth[f.cell] = 0
+				state[f.cell] = done
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if f.next < len(inputsOf[f.cell]) {
+				in := inputsOf[f.cell][f.next]
+				f.next++
+				if state[in] == unvisited {
+					state[in] = visiting
+					stack = append(stack, frame{cell: in})
+				}
+				continue
+			}
+			best := 0
+			for _, in := range inputsOf[f.cell] {
+				if state[in] == done && combinational(in) && depth[in] > best {
+					best = depth[in]
+				}
+			}
+			depth[f.cell] = best + 1
+			state[f.cell] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	maxDepth := 0
+	for c := range m.Cells {
+		visit(CellID(c))
+		if depth[c] > maxDepth {
+			maxDepth = depth[c]
+		}
+	}
+	return maxDepth
+}
+
+// FanoutHistogram buckets the nets of the module by fanout, returning
+// counts for 1, 2-3, 4-7, 8-15, 16-31, 32-63 and 64+ sinks. Useful for
+// understanding a module's routing pressure (§V-D).
+func (m *Module) FanoutHistogram() [7]int {
+	var h [7]int
+	for ni := range m.Nets {
+		f := m.Nets[ni].Fanout()
+		switch {
+		case f <= 0:
+			// dangling: not counted
+		case f == 1:
+			h[0]++
+		case f < 4:
+			h[1]++
+		case f < 8:
+			h[2]++
+		case f < 16:
+			h[3]++
+		case f < 32:
+			h[4]++
+		case f < 64:
+			h[5]++
+		default:
+			h[6]++
+		}
+	}
+	return h
+}

@@ -1,0 +1,89 @@
+package netlist
+
+import "testing"
+
+func TestTopologicalDepthChain(t *testing.T) {
+	m := NewModule("chain")
+	// A 5-level LUT chain from a port.
+	in := m.AddNet(NoID)
+	prev := in
+	for i := 0; i < 5; i++ {
+		l := m.AddCell(CellLUT)
+		m.AddSink(prev, l)
+		prev = m.AddNet(l)
+	}
+	if got := m.TopologicalDepth(); got != 5 {
+		t.Errorf("depth = %d, want 5", got)
+	}
+}
+
+func TestTopologicalDepthCutByRegisters(t *testing.T) {
+	m := NewModule("cut")
+	cs := m.AddControlSet(ControlSet{Clk: 0, Rst: 1, En: 2})
+	in := m.AddNet(NoID)
+	// LUT -> LUT -> FF -> LUT : depth 2, not 3.
+	l1 := m.AddCell(CellLUT)
+	m.AddSink(in, l1)
+	n1 := m.AddNet(l1)
+	l2 := m.AddCell(CellLUT)
+	m.AddSink(n1, l2)
+	n2 := m.AddNet(l2)
+	ff := m.AddSeqCell(CellFF, cs)
+	m.AddSink(n2, ff)
+	n3 := m.AddNet(ff)
+	l3 := m.AddCell(CellLUT)
+	m.AddSink(n3, l3)
+	m.AddNet(l3)
+	if got := m.TopologicalDepth(); got != 2 {
+		t.Errorf("depth = %d, want 2 (register cuts the path)", got)
+	}
+}
+
+func TestTopologicalDepthCountsCarry(t *testing.T) {
+	m := NewModule("carry")
+	in := m.AddNet(NoID)
+	chain := m.AddCarryChain(3)
+	m.AddSink(in, chain[0])
+	m.AddNet(chain[0], chain[1])
+	m.AddNet(chain[1], chain[2])
+	m.AddNet(chain[2])
+	if got := m.TopologicalDepth(); got != 3 {
+		t.Errorf("depth = %d, want 3 (carry is combinational)", got)
+	}
+}
+
+func TestTopologicalDepthSurvivesLoops(t *testing.T) {
+	m := NewModule("loop")
+	a := m.AddCell(CellLUT)
+	b := m.AddCell(CellLUT)
+	na := m.AddNet(a, b)
+	nb := m.AddNet(b, a) // combinational loop
+	_ = na
+	_ = nb
+	// Must terminate and report a finite depth.
+	if got := m.TopologicalDepth(); got < 1 || got > 2 {
+		t.Errorf("loop depth = %d, want small finite", got)
+	}
+}
+
+func TestTopologicalDepthEmptyModule(t *testing.T) {
+	if got := NewModule("e").TopologicalDepth(); got != 0 {
+		t.Errorf("empty depth = %d", got)
+	}
+}
+
+func TestFanoutHistogram(t *testing.T) {
+	m := NewModule("fan")
+	var cells []CellID
+	for i := 0; i < 70; i++ {
+		cells = append(cells, m.AddCell(CellLUT))
+	}
+	m.AddNet(cells[0], cells[1])           // fanout 1
+	m.AddNet(cells[1], cells[2], cells[3]) // fanout 2
+	m.AddNet(cells[2], cells[3:8]...)      // fanout 5
+	m.AddNet(cells[3], cells[4:69]...)     // fanout 65
+	h := m.FanoutHistogram()
+	if h[0] != 1 || h[1] != 1 || h[2] != 1 || h[6] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}

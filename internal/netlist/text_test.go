@@ -1,0 +1,85 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	m := buildSample()
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.LogicDepth != m.LogicDepth {
+		t.Errorf("header lost: %s/%d", got.Name, got.LogicDepth)
+	}
+	if len(got.Cells) != len(m.Cells) || len(got.Nets) != len(m.Nets) ||
+		len(got.ControlSets) != len(m.ControlSets) {
+		t.Fatalf("sizes differ: %d/%d cells, %d/%d nets",
+			len(got.Cells), len(m.Cells), len(got.Nets), len(m.Nets))
+	}
+	for i := range m.Cells {
+		if got.Cells[i] != m.Cells[i] {
+			t.Errorf("cell %d differs: %+v vs %+v", i, got.Cells[i], m.Cells[i])
+		}
+	}
+	a, b := m.ComputeStats(), got.ComputeStats()
+	if a != b {
+		t.Errorf("stats differ after round trip: %+v vs %+v", a, b)
+	}
+}
+
+func TestTextRoundTripStatsEqual(t *testing.T) {
+	// A module with every cell kind.
+	m := NewModule("kinds")
+	cs := m.AddControlSet(ControlSet{Clk: 1, Rst: 2, En: 3})
+	m.AddCell(CellLUT)
+	m.AddSeqCell(CellFF, cs)
+	m.AddSeqCell(CellLUTRAM, cs)
+	m.AddSeqCell(CellSRL, cs)
+	m.AddCarryChain(2)
+	m.AddCell(CellBRAM)
+	m.AddCell(CellDSP)
+	n := m.AddNet(NoID, 0, 1)
+	m.MarkOutput(n)
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ComputeStats() != m.ComputeStats() {
+		t.Error("stats differ")
+	}
+	if len(got.Outputs) != 1 || got.Outputs[0] != n {
+		t.Errorf("outputs lost: %v", got.Outputs)
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                                // empty
+		"cell LUT\n",                      // cell before module
+		"module m depth x\n",              // bad depth
+		"module m depth 1\ncell ALIEN\n",  // unknown kind
+		"module m depth 1\ncell LUT cs\n", // missing attr value
+		"module m depth 1\nnet q\n",       // bad driver
+		"module m depth 1\nwat 1\n",       // unknown record
+		"module m depth 1\nnet 5\n",       // driver out of range (Validate)
+		"module m depth 1\ncell FF\n",     // seq without cs (Validate)
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package pblock implements the PBlock generation algorithm of the
+// paper's Fig. 1: from the synthesis resource counts and the quick
+// placement's shape report, size a rectangular area constraint as
+// estimated-slices x correction-factor, with a constant aspect ratio and
+// a height floor from the carry-chain shapes; then determine feasibility
+// by running detailed placement and routing inside the rectangle.
+//
+// It also provides the two correction-factor searches the paper uses:
+// the exhaustive minimal-CF sweep at 0.02 resolution (§VI-C/§VII) and the
+// estimator-seeded refinement of §VIII (+0.1 coarse steps up, then a 0.02
+// scan of the last interval).
+package pblock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/netlist"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+)
+
+// PBlock is a sized area constraint for one module.
+type PBlock struct {
+	Rect fabric.Rect
+	// TargetSlices is EstSlices x CF after rounding.
+	TargetSlices int
+	// CF is the correction factor the PBlock was built with.
+	CF float64
+}
+
+// Config tunes PBlock generation and the feasibility oracle.
+type Config struct {
+	// Aspect is the fixed width/height ratio (tiles per row) of
+	// generated PBlocks.
+	Aspect float64
+	// AnchorX is the canonical left column of generated PBlocks; the
+	// stitcher relocates them later. Defaults to 1 (first interior
+	// column).
+	AnchorX int
+	// AnchorY is the canonical bottom row.
+	AnchorY int
+	// Route configures the congestion model.
+	Route route.Config
+	// Place configures the detailed placer.
+	Place place.Options
+}
+
+// DefaultConfig returns the calibrated flow configuration.
+func DefaultConfig() Config {
+	return Config{
+		Aspect:  1.0,
+		AnchorX: 1,
+		AnchorY: 0,
+		Route:   route.DefaultConfig(),
+	}
+}
+
+// ErrNoFit is returned when no PBlock on the device can satisfy the
+// module's resource demand at the requested correction factor.
+var ErrNoFit = errors.New("pblock: module does not fit on device")
+
+// Build sizes a PBlock for the module described by rep at correction
+// factor cf, anchored at the canonical origin.
+func Build(dev *fabric.Device, rep place.ShapeReport, cf float64, cfg Config) (PBlock, error) {
+	target := int(math.Ceil(float64(rep.EstSlices) * cf))
+	if target < 1 {
+		target = 1
+	}
+	need := fabric.ResourceCount{
+		SlicesM: rep.EstSlicesM,
+		BRAM:    rep.EstBRAM,
+		DSP:     rep.EstDSP,
+	}
+	need.SlicesL = target - need.SlicesM
+	if need.SlicesL < 0 {
+		need.SlicesL = 0
+	}
+
+	aspect := cfg.Aspect
+	if aspect <= 0 {
+		aspect = 1.0
+	}
+	// Height floor from the shape report; nominal height from the fixed
+	// aspect ratio assuming two slices per CLB tile. The generator scans
+	// a band of heights around the nominal one and keeps the rectangle
+	// with the least slack over the target, so PBlock capacity tracks
+	// EstSlices x CF smoothly instead of jumping a whole column at a
+	// time.
+	hNom := int(math.Ceil(math.Sqrt(float64(target) / (2 * aspect))))
+	hMin := rep.MaxShapeHeight
+	if hMin < 1 {
+		hMin = 1
+	}
+	if hNom < hMin {
+		hNom = hMin
+	}
+	hMax := hNom*2 + 8
+	if hMax > dev.Rows-cfg.AnchorY {
+		hMax = dev.Rows - cfg.AnchorY
+	}
+	// Candidates keep a bounded aspect (w <= 3h + 2): degenerate strips
+	// would relocate poorly and do not occur in real flows. Among the
+	// acceptable shapes the one with the least slice slack wins.
+	best := fabric.Rect{}
+	bestSlices := -1
+	bestAspectOK := false
+	for h := hMin; h <= hMax; h++ {
+		w, ok := widthFor(dev, cfg, need, h)
+		if !ok {
+			continue
+		}
+		r := fabric.Rect{
+			X0: cfg.AnchorX, Y0: cfg.AnchorY,
+			X1: cfg.AnchorX + w - 1, Y1: cfg.AnchorY + h - 1,
+		}
+		slices := dev.RectResources(r).Slices()
+		aspectOK := w <= 3*h+2
+		switch {
+		case aspectOK && !bestAspectOK,
+			aspectOK == bestAspectOK && (bestSlices < 0 || slices < bestSlices):
+			best, bestSlices, bestAspectOK = r, slices, aspectOK
+		}
+	}
+	if bestSlices < 0 {
+		// Nothing in the band fits; fall back to growing taller.
+		for h := hMax + 1; h <= dev.Rows-cfg.AnchorY; h++ {
+			w, ok := widthFor(dev, cfg, need, h)
+			if !ok {
+				continue
+			}
+			r := fabric.Rect{
+				X0: cfg.AnchorX, Y0: cfg.AnchorY,
+				X1: cfg.AnchorX + w - 1, Y1: cfg.AnchorY + h - 1,
+			}
+			return PBlock{Rect: r, TargetSlices: target, CF: cf}, nil
+		}
+		return PBlock{}, fmt.Errorf("%w: need %+v", ErrNoFit, need)
+	}
+	return PBlock{Rect: best, TargetSlices: target, CF: cf}, nil
+}
+
+// widthFor finds the smallest width at the configured anchor whose
+// rectangle of height h covers the demand; returns ok=false if no width
+// up to the device edge suffices.
+func widthFor(dev *fabric.Device, cfg Config, need fabric.ResourceCount, h int) (int, bool) {
+	y0 := cfg.AnchorY
+	y1 := y0 + h - 1
+	if y1 >= dev.Rows {
+		return 0, false
+	}
+	var have fabric.ResourceCount
+	for x := cfg.AnchorX; x < dev.NumCols(); x++ {
+		have = have.Add(colResources(dev, x, y0, y1))
+		if have.Covers(need) {
+			return x - cfg.AnchorX + 1, true
+		}
+	}
+	return 0, false
+}
+
+func colResources(dev *fabric.Device, x, y0, y1 int) fabric.ResourceCount {
+	return dev.RectResources(fabric.Rect{X0: x, Y0: y0, X1: x, Y1: y1})
+}
+
+// Implementation is the result of implementing one module inside a
+// PBlock: the legal placement plus the routing probe.
+type Implementation struct {
+	PBlock    PBlock
+	Placement *place.Placement
+	Route     route.Result
+}
+
+// Implement builds the PBlock for cf and runs detailed placement and
+// routing. It returns an error when the module is infeasible at this cf.
+func Implement(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, cf float64, cfg Config) (*Implementation, error) {
+	pb, err := Build(dev, rep, cf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := place.Place(dev, m, rep, pb.Rect, cfg.Place)
+	if err != nil {
+		return nil, fmt.Errorf("cf %.2f: %w", cf, err)
+	}
+	rr := route.Route(pl, cfg.Route)
+	if !rr.Feasible {
+		return nil, fmt.Errorf("cf %.2f: route infeasible (peak %.2f, overflow %.3f)", cf, rr.PeakUtil, rr.OverflowFrac)
+	}
+	return &Implementation{PBlock: pb, Placement: pl, Route: rr}, nil
+}
+
+// SearchConfig controls the minimal-CF sweep.
+type SearchConfig struct {
+	Start float64 // first CF probed (paper: 0.9 for the dataset)
+	Step  float64 // resolution (paper: 0.02)
+	Max   float64 // give up above this CF
+}
+
+// DefaultSearch returns the paper's dataset sweep parameters.
+func DefaultSearch() SearchConfig {
+	return SearchConfig{Start: 0.9, Step: 0.02, Max: 2.5}
+}
+
+// SearchResult is the outcome of a CF search.
+type SearchResult struct {
+	CF       float64
+	Impl     *Implementation
+	ToolRuns int // number of implement attempts performed
+}
+
+// MinCF sweeps the correction factor from cfg.Start in cfg.Step
+// increments until the first feasible implementation, the paper's
+// ground-truth procedure for the minimal CF.
+func MinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
+	runs := 0
+	for cf := s.Start; cf <= s.Max+1e-9; cf += s.Step {
+		cf = roundCF(cf)
+		runs++
+		impl, err := Implement(dev, m, rep, cf, cfg)
+		if err == nil {
+			return SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
+		}
+		if errors.Is(err, ErrNoFit) {
+			return SearchResult{ToolRuns: runs}, err
+		}
+	}
+	return SearchResult{ToolRuns: runs}, fmt.Errorf("pblock: no feasible CF in [%.2f, %.2f] for %s", s.Start, s.Max, m.Name)
+}
+
+// FromEstimate runs the paper's §VIII procedure: try the estimated CF;
+// while infeasible, step up by 0.1; once feasible, scan the last 0.1
+// interval downward-compatible at 0.02 resolution for the tightest
+// feasible CF. The returned ToolRuns counts every implement attempt, the
+// paper's run-time metric.
+func FromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, est float64, s SearchConfig, cfg Config) (SearchResult, error) {
+	runs := 0
+	try := func(cf float64) (*Implementation, bool) {
+		runs++
+		impl, err := Implement(dev, m, rep, cf, cfg)
+		return impl, err == nil
+	}
+	cf := roundCF(est)
+	if cf < s.Step {
+		cf = s.Step
+	}
+	impl, ok := try(cf)
+	if !ok {
+		// Coarse upward steps of 0.1.
+		lo := cf
+		for {
+			cf = roundCF(cf + 0.1)
+			if cf > s.Max {
+				return SearchResult{ToolRuns: runs}, fmt.Errorf("pblock: estimator refinement exceeded CF %.2f for %s", s.Max, m.Name)
+			}
+			impl, ok = try(cf)
+			if ok {
+				break
+			}
+			lo = cf
+		}
+		// Fine scan of the last interval (lo, cf) at 0.02.
+		for f := roundCF(lo + s.Step); f < cf-1e-9; f = roundCF(f + s.Step) {
+			if fineImpl, fineOK := try(f); fineOK {
+				return SearchResult{CF: f, Impl: fineImpl, ToolRuns: runs}, nil
+			}
+		}
+		return SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
+	}
+	// First run feasible: the estimate already yields an implementation.
+	return SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
+}
+
+// roundCF snaps a CF to the paper's 0.02 grid to avoid float drift.
+func roundCF(cf float64) float64 {
+	return math.Round(cf*50) / 50
+}

@@ -1,0 +1,380 @@
+package place
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/netlist"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/synth"
+)
+
+func elaborate(t *testing.T, spec rtlgen.Spec) *netlist.Module {
+	t.Helper()
+	m, err := synth.Elaborate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synth.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQuickPlaceEstimates(t *testing.T) {
+	m := netlist.NewModule("q")
+	cs := m.AddControlSet(netlist.ControlSet{Clk: 0, Rst: 1, En: 2})
+	for i := 0; i < 17; i++ {
+		m.AddCell(netlist.CellLUT)
+	}
+	for i := 0; i < 9; i++ {
+		m.AddSeqCell(netlist.CellFF, cs)
+	}
+	m.AddCarryChain(3)
+	m.AddCarryChain(7)
+	rep := QuickPlace(m)
+	// 17 LUTs -> 5 slices; 9 FFs -> 2; 10 carry segments -> 10.
+	if rep.EstSlices != 10 {
+		t.Errorf("EstSlices = %d, want 10 (carry-bound)", rep.EstSlices)
+	}
+	if rep.MaxShapeHeight != 7 {
+		t.Errorf("MaxShapeHeight = %d, want 7", rep.MaxShapeHeight)
+	}
+	if len(rep.CarryShapes) != 2 || rep.CarryShapes[0] != 7 || rep.CarryShapes[1] != 3 {
+		t.Errorf("CarryShapes = %v, want [7 3]", rep.CarryShapes)
+	}
+}
+
+func TestQuickPlaceMSliceDemandPerControlSet(t *testing.T) {
+	m := netlist.NewModule("m")
+	csA := m.AddControlSet(netlist.ControlSet{Clk: 0, Rst: 1, En: 2})
+	csB := m.AddControlSet(netlist.ControlSet{Clk: 0, Rst: 1, En: 3})
+	// 5 LUTRAMs in csA (2 slices) + 1 SRL in csB (1 slice) = 3 M slices,
+	// not ceil(6/4) = 2.
+	for i := 0; i < 5; i++ {
+		m.AddSeqCell(netlist.CellLUTRAM, csA)
+	}
+	m.AddSeqCell(netlist.CellSRL, csB)
+	rep := QuickPlace(m)
+	if rep.EstSlicesM != 3 {
+		t.Errorf("EstSlicesM = %d, want 3", rep.EstSlicesM)
+	}
+}
+
+func TestQuickPlaceEmptyModule(t *testing.T) {
+	rep := QuickPlace(netlist.NewModule("empty"))
+	if rep.EstSlices != 0 || rep.MaxShapeHeight != 0 {
+		t.Errorf("empty module must estimate zero: %+v", rep)
+	}
+}
+
+// sampleModule builds a deterministic mixed module for placement tests.
+func sampleModule(t *testing.T) *netlist.Module {
+	return elaborate(t, rtlgen.Spec{
+		Name: "sample",
+		Components: []rtlgen.Component{
+			rtlgen.ShiftRegs{Count: 8, Length: 12, ControlSets: 3, Fanin: 4, NoSRL: true},
+			rtlgen.SumOfSquares{Width: 8, Terms: 2},
+			rtlgen.LUTMemory{Width: 4, Depth: 64},
+			rtlgen.RandomLogic{LUTs: 120, Fanin: 4, Depth: 3, Seed: 5},
+		},
+	})
+}
+
+func ampleRect(dev *fabric.Device) fabric.Rect {
+	return fabric.Rect{X0: 1, Y0: 0, X1: dev.NumCols() - 2, Y1: dev.Rows - 1}
+}
+
+func TestPlaceInAmpleRectSucceeds(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	pl, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 40}, Options{})
+	if err != nil {
+		t.Fatalf("place failed: %v", err)
+	}
+	if pl.UsedSlices == 0 {
+		t.Fatal("no slices used")
+	}
+	for ci := range m.Cells {
+		at := pl.CellAt[ci]
+		if at.X < 0 || at.Y < 0 {
+			t.Fatalf("cell %d unplaced", ci)
+		}
+		if !pl.Rect.Contains(int(at.X), int(at.Y)) {
+			t.Fatalf("cell %d at (%d,%d) outside rect %v", ci, at.X, at.Y, pl.Rect)
+		}
+	}
+}
+
+func TestPlaceCarryChainsAreVertical(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := elaborate(t, rtlgen.Spec{
+		Name:       "carry",
+		Components: []rtlgen.Component{rtlgen.SumOfSquares{Width: 16, Terms: 3}},
+	})
+	rep := QuickPlace(m)
+	pl, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 25, Y1: 30}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := map[int32][]Coord{}
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		if c.Kind != netlist.CellCarry {
+			continue
+		}
+		for int(c.ChainPos) >= len(chains[c.Chain]) {
+			chains[c.Chain] = append(chains[c.Chain], Coord{})
+		}
+		chains[c.Chain][c.ChainPos] = pl.CellAt[ci]
+	}
+	for id, coords := range chains {
+		for i := 1; i < len(coords); i++ {
+			if coords[i].X != coords[0].X {
+				t.Fatalf("chain %d not in one column: %v", id, coords)
+			}
+			if coords[i].Y != coords[i-1].Y+1 {
+				t.Fatalf("chain %d not vertically contiguous: %v", id, coords)
+			}
+		}
+	}
+}
+
+func TestPlaceControlSetsNeverShareCLB(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	pl, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csAt := map[Coord]int32{}
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		if !c.Kind.Sequential() {
+			continue
+		}
+		at := pl.CellAt[ci]
+		if prev, ok := csAt[at]; ok && prev != c.ControlSet {
+			t.Fatalf("CLB (%d,%d) hosts control sets %d and %d", at.X, at.Y, prev, c.ControlSet)
+		}
+		csAt[at] = c.ControlSet
+	}
+}
+
+func TestPlaceMemCellsOnMColumns(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := elaborate(t, rtlgen.Spec{
+		Name:       "mem",
+		Components: []rtlgen.Component{rtlgen.LUTMemory{Width: 8, Depth: 128}},
+	})
+	rep := QuickPlace(m)
+	pl, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range m.Cells {
+		if !m.Cells[ci].Kind.NeedsMSlice() {
+			continue
+		}
+		at := pl.CellAt[ci]
+		if dev.KindAt(int(at.X)) != fabric.ColCLBM {
+			t.Fatalf("LUTRAM cell %d on column kind %v", ci, dev.KindAt(int(at.X)))
+		}
+	}
+}
+
+func TestPlaceTinyRectFails(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	_, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 2, Y1: 2}, Options{})
+	if err == nil {
+		t.Fatal("placement into a 2x3 rect must fail")
+	}
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("error must be ErrInfeasible, got %T: %v", err, err)
+	}
+}
+
+func TestPlaceNoSlicesInRect(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	// Rect covering only the IO column.
+	if _, err := Place(dev, m, rep, fabric.Rect{X0: 0, Y0: 0, X1: 0, Y1: 5}, Options{}); err == nil {
+		t.Fatal("rect without CLB columns must fail")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	r := fabric.Rect{X0: 1, Y0: 0, X1: 25, Y1: 40}
+	a, err := Place(dev, m, rep, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(dev, m, rep, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.CellAt {
+		if a.CellAt[i] != b.CellAt[i] {
+			t.Fatalf("cell %d placed at %v then %v", i, a.CellAt[i], b.CellAt[i])
+		}
+	}
+}
+
+func TestSpreadPlacementUsesMoreSlices(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	// Compact: rect sized close to the estimate.
+	tight, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 14, Y1: 13}, Options{Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 25, Y1: 30}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.UsedSlices <= tight.UsedSlices {
+		t.Errorf("loose placement must use more slices: tight=%d loose=%d",
+			tight.UsedSlices, loose.UsedSlices)
+	}
+	if loose.Spread <= tight.Spread {
+		t.Errorf("spread must grow with slack: %f vs %f", loose.Spread, tight.Spread)
+	}
+}
+
+func TestFootprintGeometry(t *testing.T) {
+	f := Footprint{
+		Width: 3, Rows: 10,
+		Cols: []RowSpan{
+			{Min: 0, Max: 9, Used: 20},
+			{Min: 2, Max: 5, Used: 8},
+			{Used: 0},
+		},
+	}
+	if f.Area() != 14 {
+		t.Errorf("Area = %d, want 14", f.Area())
+	}
+	if f.Irregularity() == 0 {
+		t.Error("ragged footprint must have nonzero irregularity")
+	}
+	rect := Footprint{Width: 2, Rows: 5, Cols: []RowSpan{
+		{Min: 0, Max: 4, Used: 10}, {Min: 0, Max: 4, Used: 10},
+	}}
+	if rect.Irregularity() != 0 {
+		t.Errorf("perfect rectangle must score 0, got %f", rect.Irregularity())
+	}
+}
+
+func TestCompactFootprintMoreRegular(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := elaborate(t, rtlgen.Spec{
+		Name:       "reg",
+		Components: []rtlgen.Component{rtlgen.RandomLogic{LUTs: 600, Fanin: 4, Depth: 4, Seed: 11}},
+	})
+	rep := QuickPlace(m)
+	tight, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 12, Y1: 9}, Options{Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 18}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Footprint.Irregularity() <= tight.Footprint.Irregularity() {
+		t.Errorf("loose placement must be more irregular: tight=%.3f loose=%.3f",
+			tight.Footprint.Irregularity(), loose.Footprint.Irregularity())
+	}
+}
+
+// Property: any generated module places successfully in a generous rect,
+// and every placed sequential CLB keeps a single control set.
+func TestPlacePropertyAllCellsPlaced(t *testing.T) {
+	dev := fabric.XC7Z020()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		specs := rtlgen.GenerateMix(rng, 3)
+		for _, spec := range specs {
+			m, err := synth.Elaborate(spec)
+			if err != nil {
+				return false
+			}
+			rep := QuickPlace(m)
+			pl, err := Place(dev, m, rep, ampleRect(dev), Options{})
+			if err != nil {
+				return false
+			}
+			for ci := range m.Cells {
+				if pl.CellAt[ci].X < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyAcceptsPlacerOutput(t *testing.T) {
+	dev := fabric.XC7Z020()
+	rng := rand.New(rand.NewSource(31))
+	for _, spec := range rtlgen.GenerateMix(rng, 10) {
+		m, err := synth.Elaborate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := synth.Optimize(m); err != nil {
+			t.Fatal(err)
+		}
+		rep := QuickPlace(m)
+		pl, err := Place(dev, m, rep, ampleRect(dev), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := Verify(dev, pl); err != nil {
+			t.Errorf("%s: placer output fails its own audit: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	dev := fabric.XC7Z020()
+	m := sampleModule(t)
+	rep := QuickPlace(m)
+	pl, err := Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a coordinate: move a cell outside the rect.
+	bad := *pl
+	bad.CellAt = append([]Coord(nil), pl.CellAt...)
+	bad.CellAt[0] = Coord{X: int16(dev.NumCols() - 1), Y: 0}
+	if err := Verify(dev, &bad); err == nil {
+		t.Error("out-of-rect cell must be rejected")
+	}
+	// Break a carry chain.
+	for ci := range m.Cells {
+		if m.Cells[ci].Kind == netlist.CellCarry && m.Cells[ci].ChainPos == 1 {
+			bad2 := *pl
+			bad2.CellAt = append([]Coord(nil), pl.CellAt...)
+			bad2.CellAt[ci] = Coord{X: bad2.CellAt[ci].X, Y: bad2.CellAt[ci].Y + 3}
+			if err := Verify(dev, &bad2); err == nil {
+				t.Error("broken carry chain must be rejected")
+			}
+			break
+		}
+	}
+}

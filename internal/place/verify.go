@@ -1,0 +1,149 @@
+package place
+
+import (
+	"fmt"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/netlist"
+)
+
+// Verify checks a placement against every legality rule the placer is
+// supposed to honor: all cells placed inside the rectangle, per-slice
+// capacities, M-slice requirements, carry-chain verticality, the
+// one-control-set-per-CLB rule, and BRAM/DSP site alignment. It is the
+// placer's independent auditor — used by the test suite and available to
+// callers that construct placements by other means.
+func Verify(dev *fabric.Device, pl *Placement) error {
+	m := pl.Module
+	if len(pl.CellAt) != len(m.Cells) {
+		return fmt.Errorf("place: verify: %d coords for %d cells", len(pl.CellAt), len(m.Cells))
+	}
+
+	type tileUse struct {
+		lut, ff, mem int
+		carryN       int
+		cs           int32
+		hasCS        bool
+	}
+	tiles := map[Coord]*tileUse{}
+	use := func(at Coord) *tileUse {
+		u := tiles[at]
+		if u == nil {
+			u = &tileUse{cs: netlist.NoID}
+			tiles[at] = u
+		}
+		return u
+	}
+
+	chains := map[int32][]Coord{}
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		at := pl.CellAt[ci]
+		if at.X < 0 || at.Y < 0 {
+			return fmt.Errorf("place: verify: cell %d (%v) unplaced", ci, c.Kind)
+		}
+		if !pl.Rect.Contains(int(at.X), int(at.Y)) {
+			return fmt.Errorf("place: verify: cell %d at (%d,%d) outside %v", ci, at.X, at.Y, pl.Rect)
+		}
+		kind := dev.KindAt(int(at.X))
+		switch c.Kind {
+		case netlist.CellLUT:
+			if kind != fabric.ColCLBL && kind != fabric.ColCLBM {
+				return fmt.Errorf("place: verify: LUT %d on %v column", ci, kind)
+			}
+			use(at).lut++
+		case netlist.CellFF:
+			if kind != fabric.ColCLBL && kind != fabric.ColCLBM {
+				return fmt.Errorf("place: verify: FF %d on %v column", ci, kind)
+			}
+			u := use(at)
+			u.ff++
+			if u.hasCS && u.cs != c.ControlSet {
+				return fmt.Errorf("place: verify: CLB (%d,%d) mixes control sets %d and %d",
+					at.X, at.Y, u.cs, c.ControlSet)
+			}
+			u.cs, u.hasCS = c.ControlSet, true
+		case netlist.CellLUTRAM, netlist.CellSRL:
+			if kind != fabric.ColCLBM {
+				return fmt.Errorf("place: verify: %v %d needs a CLBM column, got %v", c.Kind, ci, kind)
+			}
+			u := use(at)
+			u.mem++
+			if u.hasCS && u.cs != c.ControlSet {
+				return fmt.Errorf("place: verify: CLB (%d,%d) mixes control sets %d and %d",
+					at.X, at.Y, u.cs, c.ControlSet)
+			}
+			u.cs, u.hasCS = c.ControlSet, true
+		case netlist.CellCarry:
+			if kind != fabric.ColCLBL && kind != fabric.ColCLBM {
+				return fmt.Errorf("place: verify: carry %d on %v column", ci, kind)
+			}
+			// A tile holds two slices, hence up to two carry segments
+			// (one per slice column).
+			u := use(at)
+			u.carryN++
+			for int(c.ChainPos) >= len(chains[c.Chain]) {
+				chains[c.Chain] = append(chains[c.Chain], Coord{X: -1, Y: -1})
+			}
+			chains[c.Chain][c.ChainPos] = at
+		case netlist.CellBRAM:
+			if kind != fabric.ColBRAM {
+				return fmt.Errorf("place: verify: BRAM %d on %v column", ci, kind)
+			}
+			if int(at.Y)%fabric.BRAMRows != 0 {
+				return fmt.Errorf("place: verify: BRAM %d misaligned at row %d", ci, at.Y)
+			}
+		case netlist.CellDSP:
+			if kind != fabric.ColDSP {
+				return fmt.Errorf("place: verify: DSP %d on %v column", ci, kind)
+			}
+			if int(at.Y)%fabric.DSPRows != 0 {
+				return fmt.Errorf("place: verify: DSP %d misaligned at row %d", ci, at.Y)
+			}
+		}
+	}
+
+	// Tile capacities. A tile holds two slices: 8 LUT sites shared by
+	// logic LUTs and memory primitives (memory only on the M side of a
+	// CLBM), 16 FF sites, 2 carry segments (the placer uses at most one
+	// per slice column pass, but two slices exist per tile).
+	for at, u := range tiles {
+		if u.lut+u.mem > fabric.SlicesPerCLB*fabric.LUTsPerSlice {
+			return fmt.Errorf("place: verify: tile (%d,%d) holds %d LUT-site users (max %d)",
+				at.X, at.Y, u.lut+u.mem, fabric.SlicesPerCLB*fabric.LUTsPerSlice)
+		}
+		if u.mem > fabric.LUTRAMPerMSlice {
+			return fmt.Errorf("place: verify: tile (%d,%d) holds %d memory cells (max %d, one M slice)",
+				at.X, at.Y, u.mem, fabric.LUTRAMPerMSlice)
+		}
+		if u.ff > fabric.SlicesPerCLB*fabric.FFsPerSlice {
+			return fmt.Errorf("place: verify: tile (%d,%d) holds %d FFs (max %d)",
+				at.X, at.Y, u.ff, fabric.SlicesPerCLB*fabric.FFsPerSlice)
+		}
+		if u.carryN > fabric.SlicesPerCLB {
+			return fmt.Errorf("place: verify: tile (%d,%d) holds %d carry segments (max %d)",
+				at.X, at.Y, u.carryN, fabric.SlicesPerCLB)
+		}
+		// Carry segments consume their slice's LUT sites.
+		if u.lut+u.mem+u.carryN*fabric.LUTsPerSlice > fabric.SlicesPerCLB*fabric.LUTsPerSlice {
+			return fmt.Errorf("place: verify: tile (%d,%d) overcommits LUT sites (%d logic + %d mem + %d carry slices)",
+				at.X, at.Y, u.lut, u.mem, u.carryN)
+		}
+	}
+
+	// Carry chains: vertically contiguous in one column.
+	for id, coords := range chains {
+		for i, at := range coords {
+			if at.X < 0 {
+				return fmt.Errorf("place: verify: chain %d missing segment %d", id, i)
+			}
+			if i == 0 {
+				continue
+			}
+			if at.X != coords[0].X || at.Y != coords[i-1].Y+1 {
+				return fmt.Errorf("place: verify: chain %d breaks at segment %d", id, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package route
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"macroflow/internal/netlist"
+	"macroflow/internal/place"
+)
+
+// MazeConfig tunes the precise PathFinder-style router.
+type MazeConfig struct {
+	// CapacityPerTile is the number of route tracks one tile offers.
+	CapacityPerTile int
+	// Rounds is the number of negotiation (rip-up and reroute) rounds.
+	Rounds int
+	// HistoryGain scales the accumulated-congestion cost term.
+	HistoryGain float64
+	// PresentGain scales the present-overuse cost term per round.
+	PresentGain float64
+}
+
+// DefaultMazeConfig returns the calibrated PathFinder parameters. The
+// capacity matches the analytic model's demand units.
+func DefaultMazeConfig() MazeConfig {
+	return MazeConfig{
+		CapacityPerTile: 70,
+		Rounds:          4,
+		HistoryGain:     0.4,
+		PresentGain:     1.0,
+	}
+}
+
+// MazeResult reports a precise routing run.
+type MazeResult struct {
+	// Feasible is true when the final round has no overused tile.
+	Feasible bool
+	// Overflow is the total overuse after the final round.
+	Overflow int
+	// PeakUtil is the highest tile occupancy relative to capacity.
+	PeakUtil float64
+	// TotalWirelength is the summed routed tree length in tiles.
+	TotalWirelength int
+	// Routed is the number of multi-pin nets routed.
+	Routed int
+}
+
+// mazeNet is one net as a set of distinct pin tiles.
+type mazeNet struct {
+	pins []int32 // tile indices, first = driver
+	id   int
+}
+
+// RouteMaze runs a negotiated-congestion maze router over the placement:
+// every net is routed as a tree (each pin connects to the net's already
+// routed tiles via A*), and overused tiles are negotiated away across
+// rip-up-and-reroute rounds (PathFinder). It is the precise — and much
+// slower — counterpart of the analytic probe in Route; the two are
+// compared by the 'maze' experiment and the benchmarks.
+func RouteMaze(pl *place.Placement, cfg MazeConfig) MazeResult {
+	w, h := pl.Rect.Width(), pl.Rect.Height()
+	if w <= 0 || h <= 0 {
+		return MazeResult{}
+	}
+	if cfg.CapacityPerTile <= 0 {
+		cfg = DefaultMazeConfig()
+	}
+
+	nets := mazeNets(pl, w)
+	// Deterministic order: large nets first (fewest detour options).
+	sort.Slice(nets, func(i, j int) bool {
+		if len(nets[i].pins) != len(nets[j].pins) {
+			return len(nets[i].pins) > len(nets[j].pins)
+		}
+		return nets[i].id < nets[j].id
+	})
+
+	n := w * h
+	occupancy := make([]int16, n) // present usage per tile
+	history := make([]float64, n) // accumulated congestion cost
+	trees := make([][]int32, len(nets))
+	r := &mazeRouter{w: w, h: h, cfg: cfg, occupancy: occupancy, history: history}
+
+	var res MazeResult
+	for round := 0; round < cfg.Rounds; round++ {
+		r.present = cfg.PresentGain * float64(round)
+		for i := range nets {
+			for _, t := range trees[i] {
+				occupancy[t]--
+			}
+			trees[i] = r.routeTree(&nets[i])
+			for _, t := range trees[i] {
+				occupancy[t]++
+			}
+		}
+		over := 0
+		for t := 0; t < n; t++ {
+			if int(occupancy[t]) > cfg.CapacityPerTile {
+				excess := int(occupancy[t]) - cfg.CapacityPerTile
+				over += excess
+				history[t] += cfg.HistoryGain * float64(excess)
+			}
+		}
+		res.Overflow = over
+		if over == 0 {
+			break
+		}
+	}
+
+	peak := 0
+	wire := 0
+	for t := 0; t < n; t++ {
+		if int(occupancy[t]) > peak {
+			peak = int(occupancy[t])
+		}
+	}
+	for _, tr := range trees {
+		if len(tr) > 0 {
+			wire += len(tr) - 1
+		}
+	}
+	res.PeakUtil = float64(peak) / float64(cfg.CapacityPerTile)
+	res.TotalWirelength = wire
+	res.Routed = len(nets)
+	res.Feasible = res.Overflow == 0
+	return res
+}
+
+// mazeNets gathers the distinct pin tiles of every net with at least two
+// tiles, in rect-local coordinates.
+func mazeNets(pl *place.Placement, w int) []mazeNet {
+	m := pl.Module
+	var nets []mazeNet
+	id := 0
+	for ni := range m.Nets {
+		nt := &m.Nets[ni]
+		if nt.Driver == netlist.NoID {
+			continue // port nets have no on-fabric source
+		}
+		seen := map[int32]bool{}
+		var pins []int32
+		add := func(c netlist.CellID) {
+			at := pl.CellAt[c]
+			if at.X < 0 {
+				return
+			}
+			t := int32((int(at.Y)-pl.Rect.Y0)*w + int(at.X) - pl.Rect.X0)
+			if !seen[t] {
+				seen[t] = true
+				pins = append(pins, t)
+			}
+		}
+		add(nt.Driver)
+		for _, s := range nt.Sinks {
+			add(s)
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		nets = append(nets, mazeNet{pins: pins, id: id})
+		id++
+	}
+	return nets
+}
+
+// mazeRouter carries the shared grids of one RouteMaze invocation.
+type mazeRouter struct {
+	w, h      int
+	cfg       MazeConfig
+	occupancy []int16
+	history   []float64
+	// present is the round-scaled present-overuse gain.
+	present float64
+}
+
+// pqItem is one search frontier entry.
+type pqItem struct {
+	tile int32
+	g    float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].g < q[j].g }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// routeTree routes one net as a tree: the first pin seeds the tree and
+// every further pin connects to the nearest already routed tile via
+// Dijkstra over the congestion-aware costs.
+func (r *mazeRouter) routeTree(nt *mazeNet) []int32 {
+	inTree := map[int32]bool{nt.pins[0]: true}
+	tree := []int32{nt.pins[0]}
+	// Connect pins in deterministic near-to-far order from the driver.
+	rest := append([]int32(nil), nt.pins[1:]...)
+	sort.Slice(rest, func(i, j int) bool {
+		di := r.dist(nt.pins[0], rest[i])
+		dj := r.dist(nt.pins[0], rest[j])
+		if di != dj {
+			return di < dj
+		}
+		return rest[i] < rest[j]
+	})
+	for _, pin := range rest {
+		if inTree[pin] {
+			continue
+		}
+		path := r.search(pin, inTree)
+		for _, t := range path {
+			if !inTree[t] {
+				inTree[t] = true
+				tree = append(tree, t)
+			}
+		}
+	}
+	return tree
+}
+
+func (r *mazeRouter) dist(a, b int32) int {
+	ax, ay := int(a)%r.w, int(a)/r.w
+	bx, by := int(b)%r.w, int(b)/r.w
+	return abs64(ax-bx) + abs64(ay-by)
+}
+
+// search runs Dijkstra from the pin until it pops any tile already in the
+// tree, returning the connecting path (pin first).
+func (r *mazeRouter) search(pin int32, inTree map[int32]bool) []int32 {
+	n := r.w * r.h
+	gScore := make([]float64, n)
+	for i := range gScore {
+		gScore[i] = math.Inf(1)
+	}
+	from := make([]int32, n)
+	for i := range from {
+		from[i] = -1
+	}
+	frontier := &pq{{tile: pin, g: 0}}
+	gScore[pin] = 0
+	goal := int32(-1)
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(pqItem)
+		if cur.g > gScore[cur.tile] {
+			continue // stale entry
+		}
+		if inTree[cur.tile] {
+			goal = cur.tile
+			break
+		}
+		x, y := int(cur.tile)%r.w, int(cur.tile)/r.w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= r.w || ny < 0 || ny >= r.h {
+				continue
+			}
+			nt32 := int32(ny*r.w + nx)
+			step := 1.0 + r.history[nt32]
+			if int(r.occupancy[nt32]) >= r.cfg.CapacityPerTile {
+				step += r.present * float64(int(r.occupancy[nt32])-r.cfg.CapacityPerTile+1)
+			}
+			g := cur.g + step
+			if g < gScore[nt32] {
+				gScore[nt32] = g
+				from[nt32] = cur.tile
+				heap.Push(frontier, pqItem{tile: nt32, g: g})
+			}
+		}
+	}
+	if goal < 0 {
+		return nil // unreachable (cannot happen on a full grid)
+	}
+	var path []int32
+	for t := goal; t != -1; t = from[t] {
+		path = append(path, t)
+		if t == pin {
+			break
+		}
+	}
+	return path
+}
+
+func abs64(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

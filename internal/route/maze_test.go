@@ -1,0 +1,117 @@
+package route
+
+import (
+	"testing"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/netlist"
+	"macroflow/internal/place"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/synth"
+)
+
+func TestMazeRoutesSimplePair(t *testing.T) {
+	m := netlist.NewModule("pair")
+	a := m.AddCell(netlist.CellLUT)
+	b := m.AddCell(netlist.CellLUT)
+	m.AddNet(a, b)
+	pl := &place.Placement{
+		Module: m,
+		Rect:   fabric.Rect{X0: 0, Y0: 0, X1: 9, Y1: 9},
+		CellAt: []place.Coord{{X: 1, Y: 1}, {X: 4, Y: 5}},
+	}
+	res := RouteMaze(pl, DefaultMazeConfig())
+	if !res.Feasible {
+		t.Fatalf("single net must route: %+v", res)
+	}
+	if res.Routed != 1 {
+		t.Errorf("routed = %d, want 1", res.Routed)
+	}
+	// Shortest Manhattan path length is 3 + 4 = 7.
+	if res.TotalWirelength != 7 {
+		t.Errorf("wirelength = %d, want 7", res.TotalWirelength)
+	}
+}
+
+func TestMazeSkipsIntraTileAndPorts(t *testing.T) {
+	m := netlist.NewModule("skip")
+	a := m.AddCell(netlist.CellLUT)
+	b := m.AddCell(netlist.CellLUT)
+	m.AddNet(a, b)                 // intra-tile
+	port := m.AddNet(netlist.NoID) // port net
+	m.AddSink(port, a)
+	pl := &place.Placement{
+		Module: m,
+		Rect:   fabric.Rect{X0: 0, Y0: 0, X1: 4, Y1: 4},
+		CellAt: []place.Coord{{X: 2, Y: 2}, {X: 2, Y: 2}},
+	}
+	res := RouteMaze(pl, DefaultMazeConfig())
+	if res.Routed != 0 {
+		t.Errorf("routed = %d, want 0", res.Routed)
+	}
+	if !res.Feasible {
+		t.Error("nothing to route must be feasible")
+	}
+}
+
+func TestMazeNegotiatesCongestion(t *testing.T) {
+	// Many parallel nets through a 1-tile-capacity corridor must spread
+	// across rounds rather than pile onto one tile.
+	m := netlist.NewModule("corridor")
+	var coords []place.Coord
+	for i := 0; i < 6; i++ {
+		a := m.AddCell(netlist.CellLUT)
+		b := m.AddCell(netlist.CellLUT)
+		m.AddNet(a, b)
+		coords = append(coords, place.Coord{X: 0, Y: int16(i)}, place.Coord{X: 7, Y: int16(i)})
+	}
+	pl := &place.Placement{
+		Module: m,
+		Rect:   fabric.Rect{X0: 0, Y0: 0, X1: 7, Y1: 7},
+		CellAt: coords,
+	}
+	cfg := MazeConfig{CapacityPerTile: 2, Rounds: 6, HistoryGain: 0.5, PresentGain: 1.0}
+	res := RouteMaze(pl, cfg)
+	if !res.Feasible {
+		t.Fatalf("six straight nets at capacity 2 across 8 rows must negotiate: %+v", res)
+	}
+}
+
+func TestMazeAgreesWithAnalyticOnRealModule(t *testing.T) {
+	dev := fabric.XC7Z020()
+	spec := rtlgen.Spec{
+		Name:       "agree",
+		Components: []rtlgen.Component{rtlgen.RandomLogic{LUTs: 300, Fanin: 4, Depth: 4, Seed: 8}},
+	}
+	m, err := synth.Elaborate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := place.QuickPlace(m)
+	pl, err := place.Place(dev, m, rep, fabric.Rect{X0: 1, Y0: 0, X1: 20, Y1: 20}, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := Route(pl, DefaultConfig())
+	maze := RouteMaze(pl, DefaultMazeConfig())
+	if !analytic.Feasible || !maze.Feasible {
+		t.Fatalf("generous rect must route both ways: analytic=%v maze=%v",
+			analytic.Feasible, maze.Feasible)
+	}
+	// The routed tree length tracks the HPWL estimate within a small
+	// factor (not a strict bound in either direction: trees can beat
+	// per-net HPWL sums that include the port nets the maze skips).
+	ratio := float64(maze.TotalWirelength) / analytic.TotalWirelength
+	if ratio < 0.4 || ratio > 3.0 {
+		t.Errorf("maze/HPWL wirelength ratio %.2f out of range (%d vs %.0f)",
+			ratio, maze.TotalWirelength, analytic.TotalWirelength)
+	}
+}
+
+func TestMazeDegenerateRect(t *testing.T) {
+	m := netlist.NewModule("deg")
+	pl := &place.Placement{Module: m, Rect: fabric.Rect{X0: 3, Y0: 3, X1: 1, Y1: 1}}
+	if res := RouteMaze(pl, DefaultMazeConfig()); res.Feasible {
+		t.Error("degenerate rect must not be feasible")
+	}
+}

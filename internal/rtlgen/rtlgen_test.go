@@ -1,0 +1,115 @@
+package rtlgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range AllGenerators() {
+		a := g.Generate(rand.New(rand.NewSource(42)), 10)
+		b := g.Generate(rand.New(rand.NewSource(42)), 10)
+		if len(a) != 10 || len(b) != 10 {
+			t.Fatalf("%s: wrong count", g.Name())
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name {
+				t.Errorf("%s: spec %d differs across identical seeds", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestGeneratorFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wantKind := map[string]string{
+		"ff":       "shiftregs",
+		"mem":      "lutmem",
+		"carry":    "sumsquares",
+		"lfsr":     "lfsrbank",
+		"template": "", // mixed
+	}
+	for _, g := range AllGenerators() {
+		specs := g.Generate(rng, 8)
+		for _, s := range specs {
+			if len(s.Components) == 0 {
+				t.Fatalf("%s: empty spec %s", g.Name(), s.Name)
+			}
+			if want := wantKind[g.Name()]; want != "" {
+				if len(s.Components) != 1 || s.Components[0].Kind() != want {
+					t.Errorf("%s: spec %s kind = %s, want %s",
+						g.Name(), s.Name, s.Components[0].Kind(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFFGeneratorAlwaysNoSRL(t *testing.T) {
+	specs := FFGenerator{}.Generate(rand.New(rand.NewSource(2)), 20)
+	for _, s := range specs {
+		sr := s.Components[0].(ShiftRegs)
+		if !sr.NoSRL {
+			t.Error("FF family must suppress SRL mapping")
+		}
+		if sr.ControlSets > sr.Count {
+			t.Errorf("control sets %d exceed register count %d", sr.ControlSets, sr.Count)
+		}
+		if sr.Count <= 0 || sr.Length <= 0 || sr.Fanin <= 0 {
+			t.Errorf("non-positive parameter in %+v", sr)
+		}
+	}
+}
+
+func TestMemGeneratorParamBounds(t *testing.T) {
+	specs := MemGenerator{}.Generate(rand.New(rand.NewSource(3)), 30)
+	for _, s := range specs {
+		m := s.Components[0].(LUTMemory)
+		if m.Width < 1 || m.Width > 64 {
+			t.Errorf("width %d out of range", m.Width)
+		}
+		if m.Depth < 16 || m.Depth > 1024 {
+			t.Errorf("depth %d out of range", m.Depth)
+		}
+	}
+}
+
+func TestGenerateMixTotalAndPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	specs := GenerateMix(rng, 57)
+	if len(specs) != 57 {
+		t.Fatalf("got %d specs, want 57", len(specs))
+	}
+	seen := map[string]bool{}
+	for i, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate spec name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if !strings.HasPrefix(s.Name, prefix(i)) {
+			t.Errorf("spec %d name %q lacks index prefix", i, s.Name)
+		}
+	}
+}
+
+func prefix(i int) string {
+	d := []byte{'0', '0', '0', '0'}
+	for j := 3; j >= 0 && i > 0; j-- {
+		d[j] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(d)
+}
+
+func TestComponentKinds(t *testing.T) {
+	comps := []Component{
+		ShiftRegs{}, LUTMemory{}, SumOfSquares{}, LFSRBank{}, RandomLogic{},
+	}
+	want := []string{"shiftregs", "lutmem", "sumsquares", "lfsrbank", "randlogic"}
+	for i, c := range comps {
+		if c.Kind() != want[i] {
+			t.Errorf("Kind() = %s, want %s", c.Kind(), want[i])
+		}
+	}
+}

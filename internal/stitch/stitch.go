@@ -1,0 +1,624 @@
+// Package stitch implements the RapidWright-style stitcher: a simulated
+// annealing placer that replicates pre-implemented blocks across the
+// device and reconstructs the block diagram (§IV, §VIII of the paper).
+//
+// Blocks relocate only to column-compatible positions (identical column
+// kind sequences, BRAM/DSP row alignment). Occupancy is slice-column
+// granular: each block consumes, per tile column, the full row interval
+// its logic spans — so ragged footprints from loose PBlocks waste the
+// rows between their extremes, produce "dead spots", and cause the
+// illegal moves that slow annealing, exactly the paper's mechanism.
+package stitch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/place"
+)
+
+// ColSpan is one occupied column of a block footprint.
+type ColSpan struct {
+	DX       int // column offset from the block origin
+	Min, Max int // occupied row interval, inclusive, origin-relative
+}
+
+// Block is one unique pre-implemented block, ready for replication.
+type Block struct {
+	Name string
+	// HomeX is the column the block was implemented at; relocation
+	// targets must be column-compatible with it.
+	HomeX int
+	// Width is the full span in tile columns.
+	Width int
+	// Height is the footprint height in rows.
+	Height int
+	// Spans are the occupied columns.
+	Spans []ColSpan
+	// Irregularity is the footprint raggedness (for reporting).
+	Irregularity float64
+}
+
+// Area returns the consumed tile area.
+func (b *Block) Area() int {
+	a := 0
+	for _, s := range b.Spans {
+		a += s.Max - s.Min + 1
+	}
+	return a
+}
+
+// NewBlock converts a detailed placement into a relocatable block.
+func NewBlock(name string, pl *place.Placement) Block {
+	b := Block{
+		Name:         name,
+		HomeX:        pl.Rect.X0,
+		Irregularity: pl.Footprint.Irregularity(),
+	}
+	first := -1
+	for dx, c := range pl.Footprint.Cols {
+		if c.Empty() {
+			continue
+		}
+		if first < 0 {
+			first = dx
+		}
+		b.Spans = append(b.Spans, ColSpan{DX: dx - first, Min: c.Min, Max: c.Max})
+		if c.Max+1 > b.Height {
+			b.Height = c.Max + 1
+		}
+	}
+	if first > 0 {
+		b.HomeX += first
+	}
+	if n := len(b.Spans); n > 0 {
+		b.Width = b.Spans[n-1].DX + 1
+	}
+	return b
+}
+
+// Instance is one required occurrence of a block.
+type Instance struct {
+	Name  string
+	Block int // index into Problem.Blocks
+}
+
+// Net is a weighted connection between two instances; the SA cost is the
+// weighted wirelength between placed endpoints.
+type Net struct {
+	From, To int
+	Weight   float64
+}
+
+// Problem is a full stitching task.
+type Problem struct {
+	Dev       *fabric.Device
+	Blocks    []Block
+	Instances []Instance
+	Nets      []Net
+}
+
+// Config tunes the annealer.
+type Config struct {
+	Seed int64
+	// Iterations is the SA move budget (default 200,000).
+	Iterations int
+	// InitTemp is the starting temperature as a fraction of the initial
+	// cost (default 0.03).
+	InitTemp float64
+	// UnplacedPenalty is the per-unplaced-instance cost (default 2,000).
+	UnplacedPenalty float64
+	// StopWindow enables adaptive termination: when a window of this
+	// many iterations improves the cost by less than StopFrac
+	// (relative), the annealer stops early. 0 disables.
+	StopWindow int
+	// StopFrac is the relative improvement threshold (default 0.005).
+	StopFrac float64
+}
+
+// DefaultConfig returns the calibrated annealer settings.
+func DefaultConfig() Config {
+	return Config{Iterations: 200000, InitTemp: 0.03, UnplacedPenalty: 2000}
+}
+
+// Origin is the placed position of an instance.
+type Origin struct {
+	X, Y   int
+	Placed bool
+}
+
+// Result reports a stitching run.
+type Result struct {
+	Origins  []Origin
+	Placed   int
+	Unplaced int
+	// InitialCost is the total cost after the greedy construction.
+	InitialCost float64
+	// FinalCost is the wirelength cost of placed nets (no penalties).
+	FinalCost float64
+	// ConvergenceIter is the first iteration at which the annealer had
+	// achieved 98% of its total cost improvement — the paper's
+	// "SA converged N times faster" metric.
+	ConvergenceIter int
+	// IllegalMoves counts proposed moves rejected for overlap.
+	IllegalMoves int
+	// Iterations actually executed.
+	Iterations int
+	// CostTrace samples (iteration, cost) every 256 iterations.
+	CostTrace []CostSample
+	// FreeTiles is the number of unoccupied CLB tiles after stitching.
+	FreeTiles int
+	// LargestFreeRect is the area of the biggest rectangle of free CLB
+	// tiles: when it exceeds the unplaced blocks' sizes, placement
+	// failures stem from column incompatibility and dead spots rather
+	// than raw area — the paper's §IV observation.
+	LargestFreeRect int
+}
+
+// CostSample is one point of the annealing cost curve.
+type CostSample struct {
+	Iter int
+	Cost float64
+}
+
+// occupancy is a per-column row bitset over the device.
+type occupancy struct {
+	words int
+	bits  []uint64 // [col*words + w]
+}
+
+func newOccupancy(dev *fabric.Device) *occupancy {
+	w := (dev.Rows + 63) / 64
+	return &occupancy{words: w, bits: make([]uint64, dev.NumCols()*w)}
+}
+
+// mask returns the bit mask for rows [lo, hi] within word w.
+func rowMask(w, lo, hi int) uint64 {
+	base := w * 64
+	l, h := lo-base, hi-base
+	if l < 0 {
+		l = 0
+	}
+	if h > 63 {
+		h = 63
+	}
+	if h < 0 || l > 63 || l > h {
+		return 0
+	}
+	return (^uint64(0) >> (63 - uint(h))) &^ ((1 << uint(l)) - 1)
+}
+
+func (o *occupancy) conflict(col, lo, hi int) bool {
+	for w := lo / 64; w <= hi/64; w++ {
+		if o.bits[col*o.words+w]&rowMask(w, lo, hi) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *occupancy) set(col, lo, hi int, on bool) {
+	for w := lo / 64; w <= hi/64; w++ {
+		m := rowMask(w, lo, hi)
+		if on {
+			o.bits[col*o.words+w] |= m
+		} else {
+			o.bits[col*o.words+w] &^= m
+		}
+	}
+}
+
+// annealer carries the SA state.
+type annealer struct {
+	p   *Problem
+	cfg Config
+	rng *rand.Rand
+	occ *occupancy
+	// originsX[b] caches the column-compatible X origins of block b.
+	originsX [][]int
+	origins  []Origin
+	// netsOf[i] lists net indices touching instance i.
+	netsOf [][]int
+	cost   float64
+}
+
+// Run solves the stitching problem.
+func Run(p *Problem, cfg Config) *Result {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 200000
+	}
+	if cfg.InitTemp <= 0 {
+		cfg.InitTemp = 0.03
+	}
+	if cfg.UnplacedPenalty <= 0 {
+		cfg.UnplacedPenalty = 2000
+	}
+	if len(p.Instances) == 0 {
+		return &Result{} // nothing to place
+	}
+	a := &annealer{
+		p:       p,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 11)),
+		occ:     newOccupancy(p.Dev),
+		origins: make([]Origin, len(p.Instances)),
+	}
+	a.originsX = make([][]int, len(p.Blocks))
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if len(b.Spans) == 0 {
+			a.originsX[bi] = []int{1}
+			continue
+		}
+		a.originsX[bi] = p.Dev.CompatibleOriginsX(b.HomeX, b.Width)
+	}
+	a.netsOf = make([][]int, len(p.Instances))
+	for ni, n := range p.Nets {
+		a.netsOf[n.From] = append(a.netsOf[n.From], ni)
+		if n.To != n.From {
+			a.netsOf[n.To] = append(a.netsOf[n.To], ni)
+		}
+	}
+
+	a.greedyInit()
+	a.cost = a.totalCost()
+	res := a.anneal()
+	return res
+}
+
+// fits reports whether block b placed at (x, y) avoids all occupied
+// slices and stays on the device with aligned BRAM/DSP rows.
+func (a *annealer) fits(b *Block, x, y int) bool {
+	dev := a.p.Dev
+	if y < 0 || y+b.Height > dev.Rows {
+		return false
+	}
+	if len(b.Spans) > 0 && !dev.RowShiftCompatible(x, x+b.Width-1, y) {
+		return false
+	}
+	for _, s := range b.Spans {
+		if a.occ.conflict(x+s.DX, y+s.Min, y+s.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *annealer) mark(b *Block, x, y int, on bool) {
+	for _, s := range b.Spans {
+		a.occ.set(x+s.DX, y+s.Min, y+s.Max, on)
+	}
+}
+
+// greedyInit places instances area-descending, first fit.
+func (a *annealer) greedyInit() {
+	order := make([]int, len(a.p.Instances))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ai := a.p.Blocks[a.p.Instances[order[i]].Block].Area()
+		aj := a.p.Blocks[a.p.Instances[order[j]].Block].Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return order[i] < order[j]
+	})
+	for _, ii := range order {
+		b := &a.p.Blocks[a.p.Instances[ii].Block]
+		if placed, x, y := a.firstFit(b); placed {
+			a.origins[ii] = Origin{X: x, Y: y, Placed: true}
+			a.mark(b, x, y, true)
+		}
+	}
+}
+
+func (a *annealer) firstFit(b *Block) (bool, int, int) {
+	for _, x := range a.originsX[a.blockIndex(b)] {
+		for y := 0; y+b.Height <= a.p.Dev.Rows; y++ {
+			if a.fits(b, x, y) {
+				return true, x, y
+			}
+		}
+	}
+	return false, 0, 0
+}
+
+func (a *annealer) blockIndex(b *Block) int {
+	for i := range a.p.Blocks {
+		if &a.p.Blocks[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// instCenter returns the center point of an instance for wirelength.
+func (a *annealer) instCenter(ii int) (float64, float64, bool) {
+	o := a.origins[ii]
+	if !o.Placed {
+		return 0, 0, false
+	}
+	b := &a.p.Blocks[a.p.Instances[ii].Block]
+	return float64(o.X) + float64(b.Width)/2, float64(o.Y) + float64(b.Height)/2, true
+}
+
+// netCost is the weighted Manhattan distance of one net; nets with an
+// unplaced endpoint cost the unplaced penalty share.
+func (a *annealer) netCost(ni int) float64 {
+	n := &a.p.Nets[ni]
+	x1, y1, ok1 := a.instCenter(n.From)
+	x2, y2, ok2 := a.instCenter(n.To)
+	if !ok1 || !ok2 {
+		return 0 // the per-instance penalty covers unplaced endpoints
+	}
+	return n.Weight * (math.Abs(x1-x2) + math.Abs(y1-y2))
+}
+
+func (a *annealer) totalCost() float64 {
+	c := 0.0
+	for ni := range a.p.Nets {
+		c += a.netCost(ni)
+	}
+	for ii := range a.origins {
+		if !a.origins[ii].Placed {
+			c += a.cfg.UnplacedPenalty
+		}
+	}
+	return c
+}
+
+// instCost sums the cost of nets touching instance ii plus its penalty.
+func (a *annealer) instCost(ii int) float64 {
+	c := 0.0
+	for _, ni := range a.netsOf[ii] {
+		c += a.netCost(ni)
+	}
+	if !a.origins[ii].Placed {
+		c += a.cfg.UnplacedPenalty
+	}
+	return c
+}
+
+// tryMove proposes one SA move: usually a relocation of a random
+// instance to a random column-compatible origin, occasionally a swap of
+// two instances' positions. Overlapping proposals are rejected as
+// illegal moves.
+func (a *annealer) tryMove(temp float64, res *Result) {
+	if len(a.p.Instances) > 1 && a.rng.Intn(8) == 0 {
+		a.trySwap(temp, res)
+		return
+	}
+	ii := a.rng.Intn(len(a.p.Instances))
+	bidx := a.p.Instances[ii].Block
+	b := &a.p.Blocks[bidx]
+	xs := a.originsX[bidx]
+	if len(xs) == 0 {
+		return
+	}
+	nx := xs[a.rng.Intn(len(xs))]
+	maxY := a.p.Dev.Rows - b.Height
+	if maxY < 0 {
+		return
+	}
+	ny := a.rng.Intn(maxY + 1)
+
+	old := a.origins[ii]
+	if old.Placed {
+		a.mark(b, old.X, old.Y, false)
+	}
+	if !a.fits(b, nx, ny) {
+		// Illegal move: overlap with other logic (§IV).
+		if old.Placed {
+			a.mark(b, old.X, old.Y, true)
+		}
+		res.IllegalMoves++
+		return
+	}
+	before := a.instCost(ii)
+	a.origins[ii] = Origin{X: nx, Y: ny, Placed: true}
+	after := a.instCost(ii)
+	delta := after - before
+	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
+		a.mark(b, nx, ny, true)
+		a.cost += delta
+	} else {
+		a.origins[ii] = old
+		if old.Placed {
+			a.mark(b, old.X, old.Y, true)
+		}
+	}
+}
+
+// trySwap exchanges the origins of two placed instances when both fit
+// at the other's position (always true for instances of the same block;
+// for different blocks the vacated areas must cover each other).
+func (a *annealer) trySwap(temp float64, res *Result) {
+	i1 := a.rng.Intn(len(a.p.Instances))
+	i2 := a.rng.Intn(len(a.p.Instances))
+	if i1 == i2 {
+		return
+	}
+	o1, o2 := a.origins[i1], a.origins[i2]
+	if !o1.Placed || !o2.Placed {
+		return
+	}
+	b1 := &a.p.Blocks[a.p.Instances[i1].Block]
+	b2 := &a.p.Blocks[a.p.Instances[i2].Block]
+	// Column compatibility at the destination positions.
+	if !a.p.Dev.SignatureMatches(b1.HomeX, b1.Width, o2.X) ||
+		!a.p.Dev.SignatureMatches(b2.HomeX, b2.Width, o1.X) {
+		return
+	}
+	a.mark(b1, o1.X, o1.Y, false)
+	a.mark(b2, o2.X, o2.Y, false)
+	// b1 must be marked at its destination before b2 is checked, or the
+	// two swapped blocks could overlap each other.
+	ok := a.fits(b1, o2.X, o2.Y)
+	if ok {
+		a.mark(b1, o2.X, o2.Y, true)
+		ok = a.fits(b2, o1.X, o1.Y)
+		a.mark(b1, o2.X, o2.Y, false)
+	}
+	if !ok {
+		a.mark(b1, o1.X, o1.Y, true)
+		a.mark(b2, o2.X, o2.Y, true)
+		res.IllegalMoves++
+		return
+	}
+	before := a.pairCost(i1, i2)
+	a.origins[i1], a.origins[i2] = Origin{X: o2.X, Y: o2.Y, Placed: true}, Origin{X: o1.X, Y: o1.Y, Placed: true}
+	after := a.pairCost(i1, i2)
+	delta := after - before
+	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
+		a.mark(b1, o2.X, o2.Y, true)
+		a.mark(b2, o1.X, o1.Y, true)
+		a.cost += delta
+	} else {
+		a.origins[i1], a.origins[i2] = o1, o2
+		a.mark(b1, o1.X, o1.Y, true)
+		a.mark(b2, o2.X, o2.Y, true)
+	}
+}
+
+// pairCost sums the cost of the nets touching either instance, counting
+// shared nets once.
+func (a *annealer) pairCost(i1, i2 int) float64 {
+	c := a.instCost(i1)
+	for _, ni := range a.netsOf[i2] {
+		n := &a.p.Nets[ni]
+		if n.From == i1 || n.To == i1 {
+			continue // already counted via i1
+		}
+		c += a.netCost(ni)
+	}
+	if !a.origins[i2].Placed {
+		c += a.cfg.UnplacedPenalty
+	}
+	return c
+}
+
+// fragmentation computes the free-CLB-tile count and the largest free
+// rectangle (maximal-rectangle DP over the occupancy grid).
+func (a *annealer) fragmentation() (free, largestRect int) {
+	dev := a.p.Dev
+	w, h := dev.NumCols(), dev.Rows
+	heights := make([]int, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if dev.IsCLBColumn(x) && !a.occ.conflict(x, y, y) {
+				free++
+				heights[x]++
+			} else {
+				heights[x] = 0
+			}
+		}
+		// Largest rectangle in histogram via a stack.
+		if r := largestInHistogram(heights); r > largestRect {
+			largestRect = r
+		}
+	}
+	return free, largestRect
+}
+
+// largestInHistogram returns the largest rectangle under the histogram.
+func largestInHistogram(hs []int) int {
+	type ent struct{ idx, h int }
+	var stack []ent
+	best := 0
+	for i := 0; i <= len(hs); i++ {
+		cur := 0
+		if i < len(hs) {
+			cur = hs[i]
+		}
+		start := i
+		for len(stack) > 0 && stack[len(stack)-1].h > cur {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if area := top.h * (i - top.idx); area > best {
+				best = area
+			}
+			start = top.idx
+		}
+		if cur > 0 && (len(stack) == 0 || stack[len(stack)-1].h < cur) {
+			stack = append(stack, ent{start, cur})
+		}
+	}
+	return best
+}
+
+// anneal runs the SA loop.
+func (a *annealer) anneal() *Result {
+	res := &Result{}
+	iters := a.cfg.Iterations
+	temp := a.cost * a.cfg.InitTemp
+	if temp <= 0 {
+		temp = 1
+	}
+	cooling := math.Pow(0.001, 1.0/float64(iters)) // end at 0.1% of T0
+
+	var trace []CostSample
+	stopFrac := a.cfg.StopFrac
+	if stopFrac <= 0 {
+		stopFrac = 0.005
+	}
+	windowStartCost := a.cost
+	executed := iters
+
+	for it := 0; it < iters; it++ {
+		a.tryMove(temp, res)
+		temp *= cooling
+		if it%256 == 0 {
+			trace = append(trace, CostSample{Iter: it, Cost: a.cost})
+		}
+		if a.cfg.StopWindow > 0 && it > 0 && it%a.cfg.StopWindow == 0 {
+			if windowStartCost-a.cost < stopFrac*a.cost {
+				executed = it
+				break
+			}
+			windowStartCost = a.cost
+		}
+	}
+
+	// Final greedy attempt for anything still unplaced.
+	for ii := range a.origins {
+		if a.origins[ii].Placed {
+			continue
+		}
+		b := &a.p.Blocks[a.p.Instances[ii].Block]
+		if ok, x, y := a.firstFit(b); ok {
+			a.origins[ii] = Origin{X: x, Y: y, Placed: true}
+			a.mark(b, x, y, true)
+			a.cost = a.totalCost()
+		}
+	}
+
+	res.Origins = append([]Origin(nil), a.origins...)
+	for _, o := range a.origins {
+		if o.Placed {
+			res.Placed++
+		} else {
+			res.Unplaced++
+		}
+	}
+	final := a.totalCost()
+	res.FinalCost = final - float64(res.Unplaced)*a.cfg.UnplacedPenalty
+	res.Iterations = executed
+	res.ConvergenceIter = iters
+	if len(trace) > 0 {
+		initial := trace[0].Cost
+		res.InitialCost = initial
+		threshold := final + 0.02*(initial-final)
+		for _, s := range trace {
+			if s.Cost <= threshold {
+				res.ConvergenceIter = s.Iter
+				break
+			}
+		}
+	}
+	res.CostTrace = trace
+	res.FreeTiles, res.LargestFreeRect = a.fragmentation()
+	return res
+}

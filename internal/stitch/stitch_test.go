@@ -1,0 +1,307 @@
+package stitch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/place"
+)
+
+// rectBlock builds a solid w x h block compatible with plain CLB columns.
+func rectBlock(t *testing.T, dev *fabric.Device, name string, w, h int) Block {
+	t.Helper()
+	// Find a run of w CLB columns.
+	for x := 1; x+w < dev.NumCols(); x++ {
+		ok := true
+		for i := 0; i < w; i++ {
+			if !dev.IsCLBColumn(x + i) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		b := Block{Name: name, HomeX: x, Width: w, Height: h}
+		for i := 0; i < w; i++ {
+			b.Spans = append(b.Spans, ColSpan{DX: i, Min: 0, Max: h - 1})
+		}
+		return b
+	}
+	t.Fatalf("no CLB run of width %d", w)
+	return Block{}
+}
+
+func TestRowMask(t *testing.T) {
+	if rowMask(0, 0, 3) != 0xF {
+		t.Errorf("mask(0,0,3) = %x", rowMask(0, 0, 3))
+	}
+	if rowMask(1, 64, 65) != 0x3 {
+		t.Errorf("mask(1,64,65) = %x", rowMask(1, 64, 65))
+	}
+	if rowMask(0, 70, 80) != 0 {
+		t.Errorf("out-of-word mask must be 0")
+	}
+	if rowMask(1, 0, 63) != 0 {
+		t.Errorf("preceding-word mask must be 0")
+	}
+	if rowMask(0, 60, 70) != 0xF000000000000000 {
+		t.Errorf("straddling mask = %x", rowMask(0, 60, 70))
+	}
+}
+
+func TestOccupancyConflict(t *testing.T) {
+	dev := fabric.XC7Z020()
+	o := newOccupancy(dev)
+	o.set(3, 10, 20, true)
+	if !o.conflict(3, 15, 25) {
+		t.Error("overlapping interval must conflict")
+	}
+	if o.conflict(3, 21, 30) {
+		t.Error("adjacent interval must not conflict")
+	}
+	if o.conflict(4, 10, 20) {
+		t.Error("other column must not conflict")
+	}
+	o.set(3, 10, 20, false)
+	if o.conflict(3, 15, 25) {
+		t.Error("cleared interval must not conflict")
+	}
+}
+
+func TestNewBlockTrimsEmptyColumns(t *testing.T) {
+	pl := &place.Placement{
+		Rect: fabric.Rect{X0: 5, Y0: 0, X1: 9, Y1: 9},
+		Footprint: place.Footprint{
+			Width: 5, Rows: 10,
+			Cols: []place.RowSpan{
+				{Used: 0},
+				{Min: 2, Max: 7, Used: 10},
+				{Used: 0},
+				{Min: 0, Max: 9, Used: 12},
+				{Used: 0},
+			},
+		},
+	}
+	b := NewBlock("t", pl)
+	if b.HomeX != 6 {
+		t.Errorf("HomeX = %d, want 6 (leading empty trimmed)", b.HomeX)
+	}
+	if b.Width != 3 {
+		t.Errorf("Width = %d, want 3", b.Width)
+	}
+	if len(b.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(b.Spans))
+	}
+	if b.Height != 10 {
+		t.Errorf("Height = %d, want 10", b.Height)
+	}
+	if b.Area() != 16 {
+		t.Errorf("Area = %d, want 16", b.Area())
+	}
+}
+
+func smallProblem(t *testing.T, n int) *Problem {
+	dev := fabric.XC7Z020()
+	p := &Problem{Dev: dev}
+	p.Blocks = append(p.Blocks, rectBlock(t, dev, "a", 2, 8))
+	p.Blocks = append(p.Blocks, rectBlock(t, dev, "b", 3, 6))
+	for i := 0; i < n; i++ {
+		p.Instances = append(p.Instances, Instance{Name: "i", Block: i % 2})
+		if i > 0 {
+			p.Nets = append(p.Nets, Net{From: i - 1, To: i, Weight: 1})
+		}
+	}
+	return p
+}
+
+func TestRunPlacesEverythingWithRoom(t *testing.T) {
+	p := smallProblem(t, 20)
+	res := Run(p, Config{Seed: 1, Iterations: 20000})
+	if res.Unplaced != 0 {
+		t.Fatalf("unplaced = %d, want 0 (ample device)", res.Unplaced)
+	}
+	if res.Placed != 20 {
+		t.Fatalf("placed = %d, want 20", res.Placed)
+	}
+	// Verify no overlaps among final origins.
+	occ := newOccupancy(p.Dev)
+	for ii, o := range res.Origins {
+		b := &p.Blocks[p.Instances[ii].Block]
+		for _, s := range b.Spans {
+			if occ.conflict(o.X+s.DX, o.Y+s.Min, o.Y+s.Max) {
+				t.Fatalf("instance %d overlaps at (%d,%d)", ii, o.X, o.Y)
+			}
+			occ.set(o.X+s.DX, o.Y+s.Min, o.Y+s.Max, true)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(smallProblem(t, 12), Config{Seed: 7, Iterations: 5000})
+	b := Run(smallProblem(t, 12), Config{Seed: 7, Iterations: 5000})
+	if a.FinalCost != b.FinalCost || a.Placed != b.Placed {
+		t.Error("same seed must reproduce the same result")
+	}
+	for i := range a.Origins {
+		if a.Origins[i] != b.Origins[i] {
+			t.Fatalf("origin %d differs", i)
+		}
+	}
+}
+
+func TestSAImprovesOnGreedy(t *testing.T) {
+	p := smallProblem(t, 30)
+	res := Run(p, Config{Seed: 2, Iterations: 40000})
+	if res.FinalCost >= res.InitialCost {
+		t.Errorf("SA must improve cost: initial %.0f final %.0f", res.InitialCost, res.FinalCost)
+	}
+}
+
+func TestCompatibleRelocationOnly(t *testing.T) {
+	dev := fabric.XC7Z020()
+	p := &Problem{Dev: dev}
+	// A block whose span covers a BRAM column can only sit where the
+	// BRAM column repeats; verify all final origins are compatible.
+	bx := -1
+	for x := 2; x < dev.NumCols()-2; x++ {
+		if dev.KindAt(x) == fabric.ColBRAM {
+			bx = x
+			break
+		}
+	}
+	b := Block{Name: "bram", HomeX: bx - 1, Width: 3, Height: 10}
+	b.Spans = []ColSpan{{DX: 0, Min: 0, Max: 9}, {DX: 1, Min: 0, Max: 9}, {DX: 2, Min: 0, Max: 9}}
+	p.Blocks = append(p.Blocks, b)
+	for i := 0; i < 4; i++ {
+		p.Instances = append(p.Instances, Instance{Name: "x", Block: 0})
+	}
+	res := Run(p, Config{Seed: 3, Iterations: 10000})
+	for ii, o := range res.Origins {
+		if !o.Placed {
+			continue
+		}
+		if !dev.SignatureMatches(b.HomeX, b.Width, o.X) {
+			t.Fatalf("instance %d at incompatible column %d", ii, o.X)
+		}
+		if o.Y%fabric.BRAMRows != 0 {
+			t.Fatalf("instance %d at misaligned row %d over BRAM", ii, o.Y)
+		}
+	}
+}
+
+func TestOverSubscribedDeviceLeavesUnplaced(t *testing.T) {
+	dev := fabric.XC7Z020()
+	p := &Problem{Dev: dev}
+	big := rectBlock(t, dev, "big", 4, dev.Rows)
+	p.Blocks = append(p.Blocks, big)
+	// More instances than the device can hold (full-height columns).
+	n := dev.NumCols() // definitely too many 4-wide full-height blocks
+	for i := 0; i < n; i++ {
+		p.Instances = append(p.Instances, Instance{Name: "big", Block: 0})
+	}
+	res := Run(p, Config{Seed: 4, Iterations: 5000})
+	if res.Unplaced == 0 {
+		t.Error("oversubscription must leave instances unplaced")
+	}
+	if res.Placed+res.Unplaced != n {
+		t.Errorf("placed+unplaced = %d, want %d", res.Placed+res.Unplaced, n)
+	}
+}
+
+func TestAdaptiveStopTerminatesEarly(t *testing.T) {
+	p := smallProblem(t, 10)
+	res := Run(p, Config{Seed: 5, Iterations: 100000, StopWindow: 2000, StopFrac: 0.01})
+	if res.Iterations >= 100000 {
+		t.Error("a small problem must plateau and stop early")
+	}
+}
+
+// Property: rowMask covers exactly hi-lo+1 bits across words.
+func TestRowMaskBitCountProperty(t *testing.T) {
+	f := func(lo8, span8 uint8) bool {
+		lo := int(lo8) % 300
+		hi := lo + int(span8)%40
+		total := 0
+		for w := 0; w <= hi/64; w++ {
+			m := rowMask(w, lo, hi)
+			for ; m != 0; m &= m - 1 {
+				total++
+			}
+		}
+		return total == hi-lo+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestInHistogram(t *testing.T) {
+	cases := []struct {
+		hs   []int
+		want int
+	}{
+		{[]int{2, 1, 5, 6, 2, 3}, 10},
+		{[]int{1, 1, 1, 1}, 4},
+		{[]int{4}, 4},
+		{[]int{}, 0},
+		{[]int{0, 0}, 0},
+		{[]int{3, 0, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := largestInHistogram(c.hs); got != c.want {
+			t.Errorf("largestInHistogram(%v) = %d, want %d", c.hs, got, c.want)
+		}
+	}
+}
+
+func TestFragmentationReported(t *testing.T) {
+	p := smallProblem(t, 8)
+	res := Run(p, Config{Seed: 6, Iterations: 5000})
+	clb := 0
+	for x := 0; x < p.Dev.NumCols(); x++ {
+		if p.Dev.IsCLBColumn(x) {
+			clb += p.Dev.Rows
+		}
+	}
+	occupied := 0
+	for ii, o := range res.Origins {
+		if o.Placed {
+			occupied += p.Blocks[p.Instances[ii].Block].Area()
+		}
+	}
+	if res.FreeTiles != clb-occupied {
+		t.Errorf("FreeTiles = %d, want %d", res.FreeTiles, clb-occupied)
+	}
+	if res.LargestFreeRect <= 0 || res.LargestFreeRect > res.FreeTiles {
+		t.Errorf("LargestFreeRect = %d out of range", res.LargestFreeRect)
+	}
+}
+
+func TestSwapMovesPreserveLegality(t *testing.T) {
+	// A tight problem exercises swaps; final state must be overlap-free.
+	p := smallProblem(t, 40)
+	res := Run(p, Config{Seed: 9, Iterations: 30000})
+	occ := newOccupancy(p.Dev)
+	for ii, o := range res.Origins {
+		if !o.Placed {
+			continue
+		}
+		b := &p.Blocks[p.Instances[ii].Block]
+		for _, s := range b.Spans {
+			if occ.conflict(o.X+s.DX, o.Y+s.Min, o.Y+s.Max) {
+				t.Fatalf("instance %d overlaps after swaps", ii)
+			}
+			occ.set(o.X+s.DX, o.Y+s.Min, o.Y+s.Max, true)
+		}
+	}
+}
+
+func TestRunEmptyProblem(t *testing.T) {
+	p := &Problem{Dev: fabric.XC7Z020()}
+	res := Run(p, Config{Seed: 1, Iterations: 100})
+	if res.Placed != 0 || res.Unplaced != 0 || res.FinalCost != 0 {
+		t.Errorf("empty problem must be a no-op: %+v", res)
+	}
+}

@@ -1,0 +1,250 @@
+package synth
+
+import (
+	"fmt"
+
+	"macroflow/internal/netlist"
+)
+
+// OptResult reports what the optimization passes removed.
+type OptResult struct {
+	DedupedLUTs int // LUTs merged by common-subexpression dedup
+	DeadCells   int // cells removed by dead-code elimination
+}
+
+// Optimize runs the post-synthesis optimization passes in place:
+//
+//  1. LUT deduplication — LUTs reading exactly the same input nets are
+//     merged (the generators replicate fanin trees across instances, so
+//     real sharing exists to find).
+//  2. Dead-code elimination — cells not transitively reachable from any
+//     module output are removed. Carry chains are treated atomically so
+//     chain shapes stay contiguous.
+//
+// It returns statistics about the removals.
+func Optimize(m *netlist.Module) (OptResult, error) {
+	var res OptResult
+	res.DedupedLUTs = dedupLUTs(m)
+	res.DeadCells = eliminateDead(m)
+	if err := m.Validate(); err != nil {
+		return res, fmt.Errorf("synth: optimize broke netlist %s: %w", m.Name, err)
+	}
+	return res, nil
+}
+
+// cellInputs builds, for every cell, the list of nets it sinks.
+func cellInputs(m *netlist.Module) [][]netlist.NetID {
+	in := make([][]netlist.NetID, len(m.Cells))
+	for ni := range m.Nets {
+		for _, s := range m.Nets[ni].Sinks {
+			in[s] = append(in[s], netlist.NetID(ni))
+		}
+	}
+	return in
+}
+
+// outputNet returns, for every cell, the net it drives (NoID if none).
+func outputNets(m *netlist.Module) []netlist.NetID {
+	out := make([]netlist.NetID, len(m.Cells))
+	for i := range out {
+		out[i] = netlist.NoID
+	}
+	for ni := range m.Nets {
+		if d := m.Nets[ni].Driver; d != netlist.NoID {
+			out[d] = netlist.NetID(ni)
+		}
+	}
+	return out
+}
+
+// dedupLUTs merges logic LUTs whose input net sets are identical,
+// rewiring the duplicate's sinks onto the keeper's output net. Returns
+// the number of LUTs removed.
+func dedupLUTs(m *netlist.Module) int {
+	inputs := cellInputs(m)
+	outs := outputNets(m)
+	type key string
+	keeper := make(map[key]netlist.CellID)
+	// replaceNet[old] = new for nets whose driver was deduped away.
+	replaceNet := make(map[netlist.NetID]netlist.NetID)
+	dead := make([]bool, len(m.Cells))
+	removed := 0
+
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		if c.Kind != netlist.CellLUT || len(inputs[ci]) == 0 || outs[ci] == netlist.NoID {
+			continue
+		}
+		sorted := sortedCopy(inputs[ci])
+		k := make([]byte, 0, len(sorted)*4)
+		for _, n := range sorted {
+			k = append(k, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		}
+		if keep, ok := keeper[key(k)]; ok {
+			// Merge ci into keep: ci's output net is replaced by keep's.
+			replaceNet[outs[ci]] = outs[keep]
+			dead[ci] = true
+			removed++
+		} else {
+			keeper[key(k)] = netlist.CellID(ci)
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+
+	// Resolve replacement chains (a dup of a dup).
+	resolve := func(n netlist.NetID) netlist.NetID {
+		for {
+			r, ok := replaceNet[n]
+			if !ok {
+				return n
+			}
+			n = r
+		}
+	}
+
+	// Move sinks of replaced nets onto their replacement, drop replaced
+	// nets and dead cells, then compact.
+	for old := range replaceNet {
+		target := resolve(old)
+		m.Nets[target].Sinks = append(m.Nets[target].Sinks, m.Nets[old].Sinks...)
+		m.Nets[old].Sinks = nil
+		m.Nets[old].Driver = netlist.NoID
+	}
+	deadNet := make([]bool, len(m.Nets))
+	for old := range replaceNet {
+		deadNet[old] = true
+	}
+	for i, o := range m.Outputs {
+		m.Outputs[i] = resolve(o)
+	}
+	compact(m, dead, deadNet)
+	return removed
+}
+
+// eliminateDead removes cells unreachable from the module outputs.
+// Sequential cells and whole carry chains are kept if any of their
+// members is live; BRAM/DSP cells marked as outputs stay live through
+// their output nets.
+func eliminateDead(m *netlist.Module) int {
+	if len(m.Outputs) == 0 {
+		return 0 // nothing is observable; keep everything rather than erase the module
+	}
+	inputs := cellInputs(m)
+	live := make([]bool, len(m.Cells))
+	var stack []netlist.CellID
+	markCell := func(c netlist.CellID) {
+		if c != netlist.NoID && !live[c] {
+			live[c] = true
+			stack = append(stack, c)
+		}
+	}
+	for _, o := range m.Outputs {
+		markCell(m.Nets[o].Driver)
+	}
+	// Chain membership for atomic liveness.
+	chainMembers := map[int32][]netlist.CellID{}
+	for ci := range m.Cells {
+		if m.Cells[ci].Kind == netlist.CellCarry {
+			ch := m.Cells[ci].Chain
+			chainMembers[ch] = append(chainMembers[ch], netlist.CellID(ci))
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m.Cells[c].Kind == netlist.CellCarry {
+			for _, member := range chainMembers[m.Cells[c].Chain] {
+				markCell(member)
+			}
+		}
+		for _, n := range inputs[c] {
+			markCell(m.Nets[n].Driver)
+		}
+	}
+	dead := make([]bool, len(m.Cells))
+	removed := 0
+	for ci := range m.Cells {
+		if !live[ci] {
+			dead[ci] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	// A net is dead if its driver is a dead cell.
+	deadNet := make([]bool, len(m.Nets))
+	for ni := range m.Nets {
+		d := m.Nets[ni].Driver
+		if d != netlist.NoID && dead[d] {
+			deadNet[ni] = true
+		}
+	}
+	compact(m, dead, deadNet)
+	return removed
+}
+
+// compact rebuilds the module without dead cells/nets, remapping all
+// references and renumbering carry chains densely.
+func compact(m *netlist.Module, deadCell []bool, deadNet []bool) {
+	cellMap := make([]netlist.CellID, len(m.Cells))
+	newCells := m.Cells[:0:0]
+	for ci := range m.Cells {
+		if deadCell[ci] {
+			cellMap[ci] = netlist.NoID
+			continue
+		}
+		cellMap[ci] = netlist.CellID(len(newCells))
+		newCells = append(newCells, m.Cells[ci])
+	}
+	netMap := make([]netlist.NetID, len(m.Nets))
+	newNets := m.Nets[:0:0]
+	for ni := range m.Nets {
+		if deadNet[ni] {
+			netMap[ni] = netlist.NoID
+			continue
+		}
+		netMap[ni] = netlist.NetID(len(newNets))
+		newNets = append(newNets, m.Nets[ni])
+	}
+	// Remap net endpoints, dropping sinks that died.
+	for i := range newNets {
+		n := &newNets[i]
+		if n.Driver != netlist.NoID {
+			n.Driver = cellMap[n.Driver]
+		}
+		kept := n.Sinks[:0]
+		for _, s := range n.Sinks {
+			if ns := cellMap[s]; ns != netlist.NoID {
+				kept = append(kept, ns)
+			}
+		}
+		n.Sinks = kept
+	}
+	// Remap outputs, dropping dead ones.
+	outs := m.Outputs[:0]
+	for _, o := range m.Outputs {
+		if no := netMap[o]; no != netlist.NoID {
+			outs = append(outs, no)
+		}
+	}
+	// Renumber carry chains densely.
+	chainMap := map[int32]int32{}
+	for i := range newCells {
+		c := &newCells[i]
+		if c.Kind != netlist.CellCarry {
+			continue
+		}
+		nc, ok := chainMap[c.Chain]
+		if !ok {
+			nc = int32(len(chainMap))
+			chainMap[c.Chain] = nc
+		}
+		c.Chain = nc
+	}
+	m.Cells = newCells
+	m.Nets = newNets
+	m.Outputs = outs
+}

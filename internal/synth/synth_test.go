@@ -1,0 +1,316 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"macroflow/internal/netlist"
+	"macroflow/internal/rtlgen"
+)
+
+func mustElaborate(t *testing.T, spec rtlgen.Spec) *netlist.Module {
+	t.Helper()
+	m, err := Elaborate(spec)
+	if err != nil {
+		t.Fatalf("Elaborate(%s): %v", spec.Name, err)
+	}
+	return m
+}
+
+func TestShiftRegsNoSRLIsFFDominated(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name: "sr",
+		Components: []rtlgen.Component{
+			rtlgen.ShiftRegs{Count: 8, Length: 16, ControlSets: 4, Fanin: 6, NoSRL: true},
+		},
+	})
+	s := m.ComputeStats()
+	if s.FFs != 8*16 {
+		t.Errorf("FFs = %d, want 128", s.FFs)
+	}
+	if s.SRLs != 0 {
+		t.Errorf("SRLs = %d, want 0 with NoSRL", s.SRLs)
+	}
+	if s.ControlSets != 4 {
+		t.Errorf("control sets = %d, want 4", s.ControlSets)
+	}
+	// The per-control-set enable nets must produce high fanout: each of
+	// the 4 enables drives 2 registers x 16 stages.
+	if s.MaxFanout < 32 {
+		t.Errorf("max fanout = %d, want >= 32 (enable nets)", s.MaxFanout)
+	}
+}
+
+func TestShiftRegsSRLMapping(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name: "srl",
+		Components: []rtlgen.Component{
+			rtlgen.ShiftRegs{Count: 4, Length: 64, ControlSets: 1, Fanin: 2, NoSRL: false},
+		},
+	})
+	s := m.ComputeStats()
+	if s.SRLs != 4*2 { // 64 stages = 2 SRL32s per register
+		t.Errorf("SRLs = %d, want 8", s.SRLs)
+	}
+	if s.FFs != 0 {
+		t.Errorf("FFs = %d, want 0", s.FFs)
+	}
+	if s.MDemand() != 8 {
+		t.Errorf("M-slice demand = %d, want 8", s.MDemand())
+	}
+}
+
+func TestLUTMemorySmallUsesLUTRAM(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name:       "mem",
+		Components: []rtlgen.Component{rtlgen.LUTMemory{Width: 8, Depth: 128}},
+	})
+	s := m.ComputeStats()
+	if s.LUTRAMs != 8*2 { // 128 deep = 2 banks of 64
+		t.Errorf("LUTRAMs = %d, want 16", s.LUTRAMs)
+	}
+	if s.BRAMs != 0 {
+		t.Errorf("BRAMs = %d, want 0", s.BRAMs)
+	}
+	if s.FFs != 0 {
+		t.Error("memory generator must be register-free")
+	}
+	// Address net fans out to every LUTRAM cell.
+	if s.MaxFanout < 16 {
+		t.Errorf("max fanout = %d, want >= 16 (address net)", s.MaxFanout)
+	}
+}
+
+func TestLUTMemoryLargeInfersBRAM(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name:       "bigmem",
+		Components: []rtlgen.Component{rtlgen.LUTMemory{Width: 32, Depth: 2048}},
+	})
+	s := m.ComputeStats()
+	if s.BRAMs == 0 {
+		t.Fatal("64Kbit memory must infer BRAM")
+	}
+	if s.LUTRAMs != 0 {
+		t.Errorf("LUTRAMs = %d, want 0 when BRAM inferred", s.LUTRAMs)
+	}
+	if want := (32*2048 + 32767) / 32768; s.BRAMs != want {
+		t.Errorf("BRAMs = %d, want %d", s.BRAMs, want)
+	}
+}
+
+func TestSumOfSquaresHasCarryChains(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name:       "sq",
+		Components: []rtlgen.Component{rtlgen.SumOfSquares{Width: 16, Terms: 4}},
+	})
+	s := m.ComputeStats()
+	if s.NumChains == 0 || s.Carrys == 0 {
+		t.Fatalf("sum of squares must produce carry chains: %+v", s)
+	}
+	if s.MaxCarryChain < (2*16+3)/4 {
+		t.Errorf("max chain = %d, want >= %d", s.MaxCarryChain, (2*16+3)/4)
+	}
+	if s.LUTs == 0 {
+		t.Error("partial products must produce LUTs")
+	}
+	if s.FFs == 0 {
+		t.Error("output register must produce FFs")
+	}
+}
+
+func TestLFSRBankMixesResources(t *testing.T) {
+	m := mustElaborate(t, rtlgen.Spec{
+		Name: "lfsr",
+		Components: []rtlgen.Component{
+			rtlgen.LFSRBank{Count: 4, Width: 16, UseCarry: true, UseSRL: true},
+		},
+	})
+	s := m.ComputeStats()
+	if s.FFs != 4*16 {
+		t.Errorf("FFs = %d, want 64", s.FFs)
+	}
+	if s.Carrys == 0 || s.SRLs != 4 || s.LUTs == 0 {
+		t.Errorf("LFSR bank must mix carry/SRL/LUT: %+v", s)
+	}
+	if s.ControlSets != 2 {
+		t.Errorf("control sets = %d, want 2", s.ControlSets)
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	spec := rtlgen.Spec{
+		Name:       "rand",
+		Components: []rtlgen.Component{rtlgen.RandomLogic{LUTs: 200, Fanin: 4, Depth: 5, Seed: 42}},
+	}
+	a := mustElaborate(t, spec)
+	b := mustElaborate(t, spec)
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	if sa != sb {
+		t.Errorf("same seed must elaborate identically: %+v vs %+v", sa, sb)
+	}
+	if sa.LUTs != 200 {
+		t.Errorf("LUTs = %d, want 200", sa.LUTs)
+	}
+	if sa.LogicDepth != 5 {
+		t.Errorf("logic depth = %d, want 5", sa.LogicDepth)
+	}
+}
+
+func TestElaborateAllGeneratorFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range rtlgen.AllGenerators() {
+		for _, spec := range g.Generate(rng, 5) {
+			m, err := Elaborate(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name(), spec.Name, err)
+			}
+			if m.NumCells() == 0 {
+				t.Errorf("%s/%s: empty module", g.Name(), spec.Name)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", g.Name(), spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestOptimizeDedupsSharedFaninTrees(t *testing.T) {
+	// 16 registers all reading the same fanin window produce identical
+	// fanin LUT trees that dedup must merge.
+	m := mustElaborate(t, rtlgen.Spec{
+		Name: "dedup",
+		Components: []rtlgen.Component{
+			rtlgen.ShiftRegs{Count: 16, Length: 4, ControlSets: 1, Fanin: 3, NoSRL: true},
+		},
+	})
+	before := m.ComputeStats()
+	res, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DedupedLUTs == 0 {
+		t.Error("identical fanin trees must be deduplicated")
+	}
+	after := m.ComputeStats()
+	if after.LUTs >= before.LUTs {
+		t.Errorf("LUTs must shrink: before %d after %d", before.LUTs, after.LUTs)
+	}
+	if after.FFs != before.FFs {
+		t.Errorf("dedup must not remove FFs: before %d after %d", before.FFs, after.FFs)
+	}
+}
+
+func TestOptimizeRemovesDeadLogic(t *testing.T) {
+	m := netlist.NewModule("dead")
+	cs := m.AddControlSet(netlist.ControlSet{Clk: 0, Rst: 1, En: 2})
+	in := m.AddNet(netlist.NoID)
+	live := m.AddCell(netlist.CellLUT)
+	m.AddSink(in, live)
+	liveOut := m.AddNet(live)
+	m.MarkOutput(liveOut)
+	// Dead island: a LUT and FF driving nothing observable. The LUT
+	// reads a different net so dedup does not merge it first.
+	in2 := m.AddNet(netlist.NoID)
+	deadLUT := m.AddCell(netlist.CellLUT)
+	m.AddSink(in2, deadLUT)
+	deadNet := m.AddNet(deadLUT)
+	deadFF := m.AddSeqCell(netlist.CellFF, cs)
+	m.AddSink(deadNet, deadFF)
+	m.AddNet(deadFF)
+
+	res, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadCells != 2 {
+		t.Errorf("dead cells removed = %d, want 2", res.DeadCells)
+	}
+	if m.NumCells() != 1 {
+		t.Errorf("cells remaining = %d, want 1", m.NumCells())
+	}
+}
+
+func TestOptimizeKeepsCarryChainsAtomic(t *testing.T) {
+	m := netlist.NewModule("chain")
+	in := m.AddNet(netlist.NoID)
+	chain := m.AddCarryChain(4)
+	m.AddSink(in, chain[0])
+	// Only the top of the chain is observable.
+	top := m.AddNet(chain[3])
+	m.MarkOutput(top)
+	if _, err := Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	if s.Carrys != 4 {
+		t.Errorf("carry cells = %d, want 4 (chains are atomic)", s.Carrys)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("chain broken after optimize: %v", err)
+	}
+}
+
+func TestOptimizeNoOutputsKeepsEverything(t *testing.T) {
+	m := netlist.NewModule("noout")
+	l := m.AddCell(netlist.CellLUT)
+	m.AddNet(l)
+	res, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadCells != 0 || m.NumCells() != 1 {
+		t.Error("modules without outputs must not be erased")
+	}
+}
+
+// Property: Optimize never increases any resource count and always leaves
+// a valid netlist, across random generator outputs.
+func TestOptimizeMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		specs := rtlgen.GenerateMix(rng, 6)
+		for _, spec := range specs {
+			m, err := Elaborate(spec)
+			if err != nil {
+				return false
+			}
+			before := m.ComputeStats()
+			if _, err := Optimize(m); err != nil {
+				return false
+			}
+			after := m.ComputeStats()
+			if after.LUTs > before.LUTs || after.FFs > before.FFs ||
+				after.Carrys > before.Carrys || after.LUTRAMs > before.LUTRAMs ||
+				after.SRLs > before.SRLs || after.BRAMs > before.BRAMs {
+				return false
+			}
+			if m.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateMixCoversAllFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := rtlgen.GenerateMix(rng, 100)
+	if len(specs) != 100 {
+		t.Fatalf("got %d specs, want 100", len(specs))
+	}
+	kinds := map[string]bool{}
+	for _, s := range specs {
+		for _, c := range s.Components {
+			kinds[c.Kind()] = true
+		}
+	}
+	for _, want := range []string{"shiftregs", "lutmem", "sumsquares", "lfsrbank", "randlogic"} {
+		if !kinds[want] {
+			t.Errorf("component kind %q missing from mix", want)
+		}
+	}
+}

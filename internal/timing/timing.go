@@ -1,0 +1,50 @@
+// Package timing provides the first-order longest-path model used for
+// the paper's Table I comparison. Only directions are meaningful: tighter
+// PBlocks raise congestion and therefore delay, looser PBlocks lower
+// congestion but stretch wires, and PBlocks straddling clock distribution
+// columns pay an extra penalty (§IV).
+package timing
+
+import (
+	"macroflow/internal/fabric"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+)
+
+// Model holds the delay coefficients, all in nanoseconds (per unit).
+type Model struct {
+	TClkToQ     float64 // register clock-to-out
+	TLUT        float64 // LUT logic delay per level
+	TNetBase    float64 // fixed net delay per level
+	TNetPerTile float64 // incremental net delay per tile of average HPWL
+	CongK       float64 // congestion multiplier coefficient (quadratic)
+	TClockCol   float64 // penalty per clock column straddled
+	TSetup      float64 // register setup
+}
+
+// DefaultModel returns coefficients loosely calibrated against 7-series
+// speed grade -1 datasheet figures.
+func DefaultModel() Model {
+	return Model{
+		TClkToQ:     0.52,
+		TLUT:        0.12,
+		TNetBase:    0.35,
+		TNetPerTile: 0.09,
+		CongK:       1.6,
+		TClockCol:   0.45,
+		TSetup:      0.07,
+	}
+}
+
+// LongestPath estimates the critical path delay in nanoseconds of a
+// placed and routed module.
+func LongestPath(dev *fabric.Device, pl *place.Placement, rr route.Result, m Model) float64 {
+	depth := pl.Module.LogicDepth
+	if depth < 1 {
+		depth = 1
+	}
+	cong := 1 + m.CongK*rr.PeakUtil*rr.PeakUtil
+	perLevel := m.TLUT + m.TNetBase + m.TNetPerTile*rr.AvgNetHPWL*cong
+	penalty := float64(dev.ClockColumnsIn(pl.Rect)) * m.TClockCol
+	return m.TClkToQ + float64(depth)*perLevel + penalty + m.TSetup
+}

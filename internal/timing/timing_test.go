@@ -1,0 +1,75 @@
+package timing
+
+import (
+	"testing"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/netlist"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+)
+
+func placement(depth int, r fabric.Rect) *place.Placement {
+	m := netlist.NewModule("t")
+	m.LogicDepth = depth
+	return &place.Placement{Module: m, Rect: r}
+}
+
+func TestLongestPathGrowsWithDepth(t *testing.T) {
+	dev := fabric.XC7Z020()
+	r := fabric.Rect{X0: 1, Y0: 0, X1: 5, Y1: 5}
+	rr := route.Result{PeakUtil: 0.5, AvgNetHPWL: 2}
+	mdl := DefaultModel()
+	d2 := LongestPath(dev, placement(2, r), rr, mdl)
+	d8 := LongestPath(dev, placement(8, r), rr, mdl)
+	if d8 <= d2 {
+		t.Errorf("deeper logic must be slower: %f vs %f", d2, d8)
+	}
+}
+
+func TestLongestPathGrowsWithCongestion(t *testing.T) {
+	dev := fabric.XC7Z020()
+	r := fabric.Rect{X0: 1, Y0: 0, X1: 5, Y1: 5}
+	mdl := DefaultModel()
+	low := LongestPath(dev, placement(4, r), route.Result{PeakUtil: 0.3, AvgNetHPWL: 3}, mdl)
+	high := LongestPath(dev, placement(4, r), route.Result{PeakUtil: 1.1, AvgNetHPWL: 3}, mdl)
+	if high <= low {
+		t.Errorf("congestion must slow the path: %f vs %f", low, high)
+	}
+}
+
+func TestLongestPathClockColumnPenalty(t *testing.T) {
+	dev := fabric.XC7Z020()
+	clk := -1
+	for x := 0; x < dev.NumCols(); x++ {
+		if dev.KindAt(x) == fabric.ColClock {
+			clk = x
+		}
+	}
+	if clk < 0 {
+		t.Fatal("device has no clock column")
+	}
+	rr := route.Result{PeakUtil: 0.5, AvgNetHPWL: 2}
+	mdl := DefaultModel()
+	inside := fabric.Rect{X0: clk - 2, Y0: 0, X1: clk + 2, Y1: 10}
+	outside := fabric.Rect{X0: clk + 1, Y0: 0, X1: clk + 5, Y1: 10}
+	with := LongestPath(dev, placement(4, inside), rr, mdl)
+	without := LongestPath(dev, placement(4, outside), rr, mdl)
+	if with <= without {
+		t.Errorf("straddling the clock column must cost delay: %f vs %f", with, without)
+	}
+}
+
+func TestLongestPathMinimumDepthOne(t *testing.T) {
+	dev := fabric.XC7Z020()
+	r := fabric.Rect{X0: 1, Y0: 0, X1: 3, Y1: 3}
+	mdl := DefaultModel()
+	d0 := LongestPath(dev, placement(0, r), route.Result{}, mdl)
+	d1 := LongestPath(dev, placement(1, r), route.Result{}, mdl)
+	if d0 != d1 {
+		t.Errorf("depth 0 must clamp to 1: %f vs %f", d0, d1)
+	}
+	if d1 <= 0 {
+		t.Error("delay must be positive")
+	}
+}

@@ -1,0 +1,85 @@
+// Package macroflow is a pre-implemented-block ("hard macro") FPGA
+// compilation flow with learned PBlock sizing, reproducing the system of
+// "Improving mapping of convolutional neural networks on FPGAs through
+// tailored macro sizes" (IPPS 2025) on a simulated 7-series fabric.
+//
+// The flow mirrors RapidWright's: every unique block of a design is
+// synthesized, quick-placed, constrained to a rectangular PBlock sized as
+// estimated-slices x correction-factor (CF), then placed and routed
+// inside it; a simulated-annealing stitcher finally replicates the
+// pre-implemented blocks across the device. The package's contribution —
+// like the paper's — is the machinery for choosing the CF: an exhaustive
+// minimal-CF search, and learned estimators (linear regression, neural
+// network, decision tree, random forest) trained on generated RTL.
+//
+// Typical use:
+//
+//	flow, _ := macroflow.NewFlow("xc7z020")
+//	spec := macroflow.NewSpec("my_block").
+//		ShiftRegs(8, 16, 4, 6).
+//		SumOfSquares(12, 2)
+//	res, _ := flow.MinCF(spec)
+//	fmt.Println(res.CF, res.UsedSlices)
+package macroflow
+
+import (
+	"fmt"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/pblock"
+)
+
+// Flow is a configured compilation flow for one target device.
+type Flow struct {
+	dev    *fabric.Device
+	cfg    pblock.Config
+	search pblock.SearchConfig
+}
+
+// DeviceInfo summarizes the target fabric.
+type DeviceInfo struct {
+	Name         string
+	Slices       int
+	SlicesM      int
+	BRAM         int
+	DSP          int
+	ClockRegions int
+}
+
+// NewFlow creates a flow targeting the named device ("xc7z020" or
+// "xc7z045").
+func NewFlow(device string) (*Flow, error) {
+	var dev *fabric.Device
+	switch device {
+	case "xc7z020":
+		dev = fabric.XC7Z020()
+	case "xc7z045":
+		dev = fabric.XC7Z045()
+	default:
+		return nil, fmt.Errorf("macroflow: unknown device %q (xc7z020, xc7z045)", device)
+	}
+	return &Flow{
+		dev:    dev,
+		cfg:    pblock.DefaultConfig(),
+		search: pblock.DefaultSearch(),
+	}, nil
+}
+
+// Device returns the target device summary.
+func (f *Flow) Device() DeviceInfo {
+	rc := f.dev.Resources()
+	return DeviceInfo{
+		Name:         f.dev.Name,
+		Slices:       rc.Slices(),
+		SlicesM:      rc.SlicesM,
+		BRAM:         rc.BRAM,
+		DSP:          rc.DSP,
+		ClockRegions: f.dev.ClockRegions(),
+	}
+}
+
+// SetSearch overrides the CF search window (start, step, max). The paper
+// uses start 0.9 at step 0.02.
+func (f *Flow) SetSearch(start, step, max float64) {
+	f.search = pblock.SearchConfig{Start: start, Step: step, Max: max}
+}

@@ -1,0 +1,90 @@
+package macroflow
+
+import (
+	"hash/fnv"
+
+	"macroflow/internal/rtlgen"
+)
+
+// Spec is a buildable module description assembled from the component
+// library (shift-register banks, distributed/block memories, carry-chain
+// arithmetic, LFSRs, generic logic clouds). It is the public handle for
+// "an RTL module" throughout the flow.
+type Spec struct {
+	inner rtlgen.Spec
+}
+
+// NewSpec starts an empty module spec with the given name. The name also
+// seeds any randomized component wiring, so equal specs elaborate
+// identically.
+func NewSpec(name string) *Spec {
+	return &Spec{inner: rtlgen.Spec{Name: name}}
+}
+
+// Name returns the module name.
+func (s *Spec) Name() string { return s.inner.Name }
+
+func (s *Spec) seed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.inner.Name))
+	h.Write([]byte{byte(len(s.inner.Components))})
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// ShiftRegs adds count shift registers of the given length, spread over
+// controlSets control sets, each fed through a fanin-input LUT tree.
+// Stages are kept as flip-flops.
+func (s *Spec) ShiftRegs(count, length, controlSets, fanin int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.ShiftRegs{
+		Count: count, Length: length, ControlSets: controlSets, Fanin: fanin, NoSRL: true,
+	})
+	return s
+}
+
+// SRLs adds count shift registers mapped into SRL primitives (M slices).
+func (s *Spec) SRLs(count, length, controlSets int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.ShiftRegs{
+		Count: count, Length: length, ControlSets: controlSets, Fanin: 1, NoSRL: false,
+	})
+	return s
+}
+
+// Memory adds a width x depth memory; synthesis infers LUTRAM for small
+// capacities and RAMB36 above the inference threshold.
+func (s *Spec) Memory(width, depth int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.LUTMemory{Width: width, Depth: depth})
+	return s
+}
+
+// DistributedMemory adds a memory pinned to LUTRAM regardless of size.
+func (s *Spec) DistributedMemory(width, depth int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.LUTMemory{
+		Width: width, Depth: depth, ForceDistributed: true,
+	})
+	return s
+}
+
+// SumOfSquares adds carry-chain arithmetic: terms squared operands of
+// the given width accumulated into a registered sum.
+func (s *Spec) SumOfSquares(width, terms int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.SumOfSquares{Width: width, Terms: terms})
+	return s
+}
+
+// LFSRs adds a bank of linear-feedback shift registers mixing FFs, LUTs
+// and, optionally, carry counters and SRL delay lines.
+func (s *Spec) LFSRs(count, width int, useCarry, useSRL bool) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.LFSRBank{
+		Count: count, Width: width, UseCarry: useCarry, UseSRL: useSRL,
+	})
+	return s
+}
+
+// Logic adds a generic LUT cloud of the given size, average fanin and
+// combinational depth, wired pseudo-randomly but locally.
+func (s *Spec) Logic(luts, fanin, depth int) *Spec {
+	s.inner.Components = append(s.inner.Components, rtlgen.RandomLogic{
+		LUTs: luts, Fanin: fanin, Depth: depth, Seed: s.seed(),
+	})
+	return s
+}
