@@ -13,6 +13,7 @@ import (
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
 	"macroflow/internal/ml"
+	"macroflow/internal/netlist"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
@@ -337,6 +338,84 @@ func BenchmarkToolRuns(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- min-CF search strategies ------------------------------------------
+
+// minCFBenchSearch is the dataset/calibration window (§VI-C) both
+// strategy benchmarks search, and minCFBenchBlocks the fixed module set:
+// every unique cnvW1A1 block type.
+var minCFBenchSearch = pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+
+func minCFBenchBlocks(b *testing.B) []struct {
+	m   *netlist.Module
+	rep place.ShapeReport
+} {
+	b.Helper()
+	fixtures(b)
+	blocks := make([]struct {
+		m   *netlist.Module
+		rep place.ShapeReport
+	}, 0, len(fix.design.Types))
+	for ti := range fix.design.Types {
+		m, err := fix.design.Module(ti)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = append(blocks, struct {
+			m   *netlist.Module
+			rep place.ShapeReport
+		}{m, place.QuickPlace(m)})
+	}
+	return blocks
+}
+
+// runMinCFBench sweeps the whole block set once per iteration with the
+// given strategy and reports the aggregate place-and-route invocations
+// as toolruns/op.
+func runMinCFBench(b *testing.B, s pblock.SearchConfig) {
+	blocks := minCFBenchBlocks(b)
+	cfg := pblock.DefaultConfig()
+	b.ResetTimer()
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		runs = 0
+		for _, blk := range blocks {
+			res, err := pblock.MinCF(fix.dev, blk.m, blk.rep, s, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs += res.ToolRuns
+		}
+	}
+	b.ReportMetric(float64(runs), "toolruns/op")
+}
+
+// BenchmarkMinCF measures the paper's exhaustive linear sweep over the
+// full cnv block set.
+func BenchmarkMinCF(b *testing.B) {
+	runMinCFBench(b, minCFBenchSearch)
+}
+
+// BenchmarkMinCFBisect measures the bisect strategy on the identical
+// block set and window. Before timing, it asserts the equivalence
+// contract on every block: the bisect CF must equal the linear CF.
+func BenchmarkMinCFBisect(b *testing.B) {
+	blocks := minCFBenchBlocks(b)
+	cfg := pblock.DefaultConfig()
+	s := minCFBenchSearch
+	s.Strategy = pblock.StrategyBisect
+	for _, blk := range blocks {
+		lin, lerr := pblock.MinCF(fix.dev, blk.m, blk.rep, minCFBenchSearch, cfg)
+		bis, berr := pblock.MinCF(fix.dev, blk.m, blk.rep, s, cfg)
+		if (lerr == nil) != (berr == nil) {
+			b.Fatalf("%s: strategy error mismatch: %v vs %v", blk.m.Name, lerr, berr)
+		}
+		if lerr == nil && lin.CF != bis.CF {
+			b.Fatalf("%s: bisect CF %.2f, linear CF %.2f", blk.m.Name, bis.CF, lin.CF)
+		}
+	}
+	runMinCFBench(b, s)
 }
 
 // --- substrate micro-benchmarks -----------------------------------------

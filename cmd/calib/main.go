@@ -29,6 +29,7 @@ func main() {
 	cap := flag.Float64("cap", 0, "override routing capacity per tile")
 	noise := flag.Bool("noise", false, "run label-noise study and exit")
 	probe := flag.String("probe", "", "print per-CF route diagnostics for modules whose name contains this substring")
+	strategy := flag.String("strategy", "bisect", "min-CF search strategy: linear (paper sweep) or bisect (same CFs, O(log) runs)")
 	flag.Parse()
 	if *noise {
 		noiseStudy(*n, *seed)
@@ -43,6 +44,17 @@ func main() {
 		cfg.Route.CapacityPerTile = *cap
 	}
 	search := pblock.SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0}
+	switch *strategy {
+	case "linear":
+		search.Strategy = pblock.StrategyLinear
+	case "bisect":
+		// Calibration only needs the CFs, which bisect reproduces exactly
+		// with far fewer oracle runs.
+		search.Strategy = pblock.StrategyBisect
+	default:
+		fmt.Printf("unknown strategy %q (linear, bisect)\n", *strategy)
+		os.Exit(2)
+	}
 
 	type result struct {
 		name  string

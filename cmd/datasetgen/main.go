@@ -14,7 +14,9 @@ import (
 
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
+	"macroflow/internal/implcache"
 	"macroflow/internal/ml"
+	"macroflow/internal/pblock"
 )
 
 func main() {
@@ -25,6 +27,9 @@ func main() {
 	device := flag.String("device", "xc7z020", "target device")
 	capBin := flag.Int("cap", 75, "max samples per 0.02 CF bin (0 = no balancing)")
 	out := flag.String("o", "", "output CSV path (default stdout)")
+	strategy := flag.String("strategy", "linear", "min-CF search strategy: linear (paper sweep) or bisect (same CFs, O(log) runs)")
+	probeWorkers := flag.Int("probe-workers", 1, "speculative parallel probes per bisect search (deterministic results)")
+	cacheDir := flag.String("cache", "", "persistent implementation cache directory (reused across runs)")
 	flag.Parse()
 
 	cfg := dataset.DefaultConfig()
@@ -38,10 +43,32 @@ func main() {
 	default:
 		log.Fatalf("unknown device %q", *device)
 	}
+	switch *strategy {
+	case "linear":
+		cfg.Search.Strategy = pblock.StrategyLinear
+	case "bisect":
+		cfg.Search.Strategy = pblock.StrategyBisect
+	default:
+		log.Fatalf("unknown strategy %q (linear, bisect)", *strategy)
+	}
+	cfg.Search.Workers = *probeWorkers
+	var cache *implcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = implcache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Search.Cache = cache
+	}
 
 	samples, err := dataset.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		log.Printf("cache %s: %d hits, %d misses, %d stores", *cacheDir, st.Hits, st.Misses, st.Stores)
 	}
 	log.Printf("labeled %d of %d modules", len(samples), *modules)
 	if *capBin > 0 {

@@ -8,6 +8,7 @@ import (
 	"macroflow/internal/cnv"
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
+	"macroflow/internal/implcache"
 	"macroflow/internal/ml"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
@@ -21,6 +22,10 @@ type ctx struct {
 	trees       int
 	epochs      int
 	stitchIters int
+	cacheDir    string
+
+	onceCache sync.Once
+	cache     *implcache.Cache
 
 	onceData sync.Once
 	samples  []dataset.Sample
@@ -45,11 +50,29 @@ type cnvLabel struct {
 
 const cnvSearchStart = 0.5 // §IV determines minimal CFs below 0.7 too
 
+// implCache lazily opens the persistent implementation cache named by
+// -cache, or returns nil when the flag is unset (the default, which
+// keeps every output bit-identical to the paper-fidelity flow).
+func (c *ctx) implCache() *implcache.Cache {
+	c.onceCache.Do(func() {
+		if c.cacheDir == "" {
+			return
+		}
+		cache, err := implcache.Open(c.cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.cache = cache
+	})
+	return c.cache
+}
+
 func (c *ctx) dataset() ([]dataset.Sample, []dataset.Sample, []dataset.Sample, []dataset.Sample) {
 	c.onceData.Do(func() {
 		cfg := dataset.DefaultConfig()
 		cfg.Modules = c.modules
 		cfg.Seed = c.seed
+		cfg.Search.Cache = c.implCache()
 		log.Printf("generating %d-module dataset ...", cfg.Modules)
 		s, err := dataset.Generate(cfg)
 		if err != nil {
@@ -71,7 +94,7 @@ func (c *ctx) cnvLabels() []cnvLabel {
 		dev := fabric.XC7Z020()
 		d := cnv.CNVW1A1()
 		cfg := pblock.DefaultConfig()
-		search := pblock.SearchConfig{Start: cnvSearchStart, Step: 0.02, Max: 3.0}
+		search := pblock.SearchConfig{Start: cnvSearchStart, Step: 0.02, Max: 3.0, Cache: c.implCache()}
 		labels := make([]cnvLabel, len(d.Types))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))

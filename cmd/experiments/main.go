@@ -40,6 +40,7 @@ func main() {
 	epochs := flag.Int("epochs", 600, "neural network epochs")
 	stitchIters := flag.Int("stitch-iters", 300000, "SA iteration budget")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
 	flag.Parse()
 
 	c := &ctx{
@@ -48,6 +49,7 @@ func main() {
 		trees:       *trees,
 		epochs:      *epochs,
 		stitchIters: *stitchIters,
+		cacheDir:    *cacheDir,
 	}
 	if *quick {
 		c.modules = 400

@@ -118,6 +118,14 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// When the searches themselves probe speculatively, split the budget
+	// between block-level and probe-level parallelism.
+	if pw := f.search.Workers; pw > 1 {
+		workers = (workers + pw - 1) / pw
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for ti := range design.Types {

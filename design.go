@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"macroflow/internal/implcache"
 	"macroflow/internal/netlist"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
@@ -76,10 +77,14 @@ func (d *Design) NumInstances() int { return len(d.instances) }
 // BlockCache stores pre-implemented blocks keyed by device and block
 // configuration — the premise of the whole flow: when one block of a
 // design changes, every other block's placed-and-routed result is reused
-// verbatim (the paper's Introduction scenario).
+// verbatim (the paper's Introduction scenario). An in-memory map serves
+// repeat compiles within one process; an optional persistent layer (see
+// NewPersistentBlockCache) carries implementations across processes.
 type BlockCache struct {
-	mu sync.Mutex
-	m  map[string]cacheEntry
+	mu    sync.Mutex
+	m     map[string]cacheEntry
+	disk  *implcache.Cache
+	stats CacheStats
 }
 
 type cacheEntry struct {
@@ -87,16 +92,49 @@ type cacheEntry struct {
 	result ModuleResult
 }
 
-// NewBlockCache returns an empty cache.
+// CacheStats are a BlockCache's lifetime counters, split by layer.
+type CacheStats struct {
+	// MemHits counts blocks served from the in-process map.
+	MemHits int
+	// DiskHits counts blocks rebuilt from the persistent layer.
+	DiskHits int
+	// Misses counts blocks that had to be implemented from scratch.
+	Misses int
+	// Stores counts records written to the persistent layer.
+	Stores int
+}
+
+// NewBlockCache returns an empty in-memory cache.
 func NewBlockCache() *BlockCache {
 	return &BlockCache{m: make(map[string]cacheEntry)}
 }
 
-// Len returns the number of cached block implementations.
+// NewPersistentBlockCache returns a cache backed by a content-addressed
+// on-disk store rooted at dir, so implementations survive process exits:
+// a fresh process compiling the same design performs zero place-and-route
+// runs for unchanged blocks. Records are keyed by device, module content
+// hash, CF mode and oracle configuration; a record whose placement no
+// longer verifies is ignored, never served.
+func NewPersistentBlockCache(dir string) (*BlockCache, error) {
+	disk, err := implcache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockCache{m: make(map[string]cacheEntry), disk: disk}, nil
+}
+
+// Len returns the number of block implementations held in memory.
 func (c *BlockCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a snapshot of the cache's hit/miss/store counters.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // key derives the cache key from the device and the full component
@@ -127,8 +165,12 @@ type CompileResult struct {
 	// ToolRuns sums the place-and-route attempts of this call (cache
 	// hits contribute zero).
 	ToolRuns int
-	// CacheHits counts block types served from the cache.
+	// CacheHits counts block types served from the cache, from either
+	// layer (CacheHits == Cache.MemHits + Cache.DiskHits for this call).
 	CacheHits int
+	// Cache breaks the hits down by layer for this call: in-memory hits,
+	// persistent-layer rebuilds, misses and new persistent stores.
+	Cache CacheStats
 	// Stitch is the assembled design (zero value when SkipStitch).
 	Stitch StitchReport
 }
@@ -142,12 +184,20 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	}
 	res := &CompileResult{Blocks: make([]ModuleResult, len(d.types))}
 	impls := make([]*pblock.Implementation, len(d.types))
-	hits := make([]bool, len(d.types))
+	hits := make([]blockHit, len(d.types))
 	errs := make([]error, len(d.types))
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	// When the searches themselves probe speculatively, split the budget
+	// between block-level and probe-level parallelism.
+	if pw := f.search.Workers; pw > 1 {
+		workers = (workers + pw - 1) / pw
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -165,10 +215,19 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 		if errs[ti] != nil {
 			return nil, fmt.Errorf("macroflow: block %s: %w", d.names[ti], errs[ti])
 		}
-		if hits[ti] {
+		switch hits[ti].kind {
+		case hitMem:
 			res.CacheHits++
-		} else {
+			res.Cache.MemHits++
+		case hitDisk:
+			res.CacheHits++
+			res.Cache.DiskHits++
+		default:
 			res.ToolRuns += res.Blocks[ti].ToolRuns
+			res.Cache.Misses++
+			if hits[ti].stored {
+				res.Cache.Stores++
+			}
 		}
 	}
 	if opts.SkipStitch {
@@ -208,33 +267,113 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	return res, nil
 }
 
-// compileBlock implements one block type, consulting the cache first.
-func (f *Flow) compileBlock(spec *Spec, mode CFMode, cache *BlockCache) (*pblock.Implementation, ModuleResult, bool, error) {
+// blockHit reports how one block's implementation was obtained.
+type blockHit struct {
+	kind   int // hitMiss, hitMem or hitDisk
+	stored bool
+}
+
+const (
+	hitMiss = iota
+	hitMem
+	hitDisk
+)
+
+// compileBlock implements one block type, consulting the cache layers in
+// order: the in-process map first, then the persistent store (a disk
+// record rebuilds the placement via a Verify-audited warm start and
+// recomputes the derived metrics), and only then a fresh search, whose
+// outcome is written back to both layers.
+func (f *Flow) compileBlock(spec *Spec, mode CFMode, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
 	var key string
 	if cache != nil {
 		key = cache.key(f.dev.Name, spec)
 		cache.mu.Lock()
 		if e, ok := cache.m[key]; ok {
+			cache.stats.MemHits++
 			cache.mu.Unlock()
-			return e.impl, e.result, true, nil
+			return e.impl, e.result, blockHit{kind: hitMem}, nil
 		}
 		cache.mu.Unlock()
 	}
 	m, rep, err := f.compile(spec)
 	if err != nil {
-		return nil, ModuleResult{}, false, err
+		return nil, ModuleResult{}, blockHit{}, err
+	}
+	var diskKey string
+	if cache != nil && cache.disk != nil {
+		diskKey = f.blockDiskKey(m, rep, mode)
+		var rec pblock.ImplRecord
+		if cache.disk.Get(diskKey, &rec) {
+			if sr, rerr, ok := rec.Rebuild(f.dev, m, rep, f.search, f.cfg); ok {
+				if rerr != nil {
+					return nil, ModuleResult{}, blockHit{}, rerr
+				}
+				result := f.moduleResult(m, rep, sr)
+				cache.mu.Lock()
+				cache.m[key] = cacheEntry{impl: sr.Impl, result: result}
+				cache.stats.DiskHits++
+				cache.mu.Unlock()
+				return sr.Impl, result, blockHit{kind: hitDisk}, nil
+			}
+		}
 	}
 	sr, err := f.implementModule(m, rep, mode)
+	stored := false
+	if cache != nil && cache.disk != nil {
+		if rec, ok := pblock.RecordSearch(sr, err); ok {
+			// Best effort: a failed store degrades to a future miss.
+			if cache.disk.Put(diskKey, rec) == nil {
+				stored = true
+			}
+		}
+	}
 	if err != nil {
-		return nil, ModuleResult{}, false, err
+		if cache != nil {
+			cache.mu.Lock()
+			cache.stats.Misses++
+			cache.mu.Unlock()
+		}
+		return nil, ModuleResult{}, blockHit{stored: stored}, err
 	}
 	result := f.moduleResult(m, rep, sr)
 	if cache != nil {
 		cache.mu.Lock()
 		cache.m[key] = cacheEntry{impl: sr.Impl, result: result}
+		cache.stats.Misses++
+		if stored {
+			cache.stats.Stores++
+		}
 		cache.mu.Unlock()
 	}
-	return sr.Impl, result, false, nil
+	return sr.Impl, result, blockHit{stored: stored}, nil
+}
+
+// blockDiskKey addresses a block's persistent record by everything that
+// can change its implementation: device, optimized module content, CF
+// policy and the oracle configuration. The estimator mode folds the
+// predicted CF into the key — a retrained estimator addresses different
+// records rather than being served stale ones.
+func (f *Flow) blockDiskKey(m *netlist.Module, rep place.ShapeReport, mode CFMode) string {
+	modeFP := mode.kind
+	switch mode.kind {
+	case "constant":
+		modeFP = fmt.Sprintf("constant:%.4f", mode.constant)
+	case "estimator":
+		if rep.EstSlices < 6 {
+			modeFP = "minsweep"
+		} else {
+			modeFP = fmt.Sprintf("estimator:%.6f", mode.estimator.predict(rep))
+		}
+	}
+	return implcache.Key(
+		"block",
+		f.dev.Name,
+		implcache.ModuleHash(m),
+		modeFP,
+		pblock.SearchFingerprint(f.search),
+		pblock.ConfigFingerprint(f.cfg),
+	)
 }
 
 // constantImplement is the escalating constant-CF policy shared with the

@@ -3,9 +3,16 @@
 // design-space exploration, every other block's placed-and-routed result
 // is reused from the cache, so the recompile costs a fraction of the
 // first compile.
+//
+// With -cache <dir> the cache persists on disk: a second run of this
+// program (a "new process" in a real DSE loop) serves every unchanged
+// block from the persistent layer and performs zero place-and-route
+// runs for them. The bisect search strategy speeds up the cold compiles
+// too, finding the same minimal CFs in O(log) oracle runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -38,21 +45,38 @@ func pipeline(workerSIMD int) *macroflow.Design {
 
 func main() {
 	log.SetFlags(0)
+	cacheDir := flag.String("cache", "", "persistent cache directory; rerun with the same directory to see cross-process hits")
+	bisect := flag.Bool("bisect", true, "use the bisect min-CF search (same CFs, fewer oracle runs)")
+	flag.Parse()
+
 	flow, err := macroflow.NewFlow("xc7z020")
 	if err != nil {
 		log.Fatal(err)
 	}
 	flow.SetSearch(0.9, 0.02, 3.0)
-	cache := macroflow.NewBlockCache()
+	if *bisect {
+		flow.SetSearchStrategy(macroflow.SearchBisect)
+	}
 
-	// First compile: everything is implemented from scratch.
+	var cache *macroflow.BlockCache
+	if *cacheDir != "" {
+		cache, err = macroflow.NewPersistentBlockCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cache = macroflow.NewBlockCache()
+	}
+
+	// First compile: everything is implemented from scratch — unless a
+	// previous process already populated the persistent cache.
 	first, err := flow.Compile(pipeline(32), macroflow.MinSweepCF(),
 		macroflow.CompileOptions{Cache: cache, Seed: 1, StitchIterations: 40000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial compile:   %3d tool runs, %d cache hits, %d/%d placed, cost %.0f\n",
-		first.ToolRuns, first.CacheHits, first.Stitch.Placed,
+	fmt.Printf("initial compile:   %3d tool runs, %d cache hits (%d from disk), %d/%d placed, cost %.0f\n",
+		first.ToolRuns, first.CacheHits, first.Cache.DiskHits, first.Stitch.Placed,
 		first.Stitch.Placed+first.Stitch.Unplaced, first.Stitch.FinalCost)
 
 	// The DSE step: only the worker block changes (SIMD 32 -> 48).
@@ -62,8 +86,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("worker changed:    %3d tool runs, %d cache hits, %d/%d placed, cost %.0f\n",
-		second.ToolRuns, second.CacheHits, second.Stitch.Placed,
+	fmt.Printf("worker changed:    %3d tool runs, %d cache hits (%d from disk), %d/%d placed, cost %.0f\n",
+		second.ToolRuns, second.CacheHits, second.Cache.DiskHits, second.Stitch.Placed,
 		second.Stitch.Placed+second.Stitch.Unplaced, second.Stitch.FinalCost)
 
 	// Recompiling the unchanged design costs no tool runs at all.
@@ -76,6 +100,13 @@ func main() {
 		third.ToolRuns, third.CacheHits)
 
 	fmt.Printf("\ncached unique blocks: %d\n", cache.Len())
-	fmt.Printf("recompile-after-change cost: %.0f%% of the initial compile\n",
-		100*float64(second.ToolRuns)/float64(first.ToolRuns))
+	st := cache.Stats()
+	fmt.Printf("cache: %d memory hits, %d disk hits, %d misses, %d stores\n",
+		st.MemHits, st.DiskHits, st.Misses, st.Stores)
+	if first.ToolRuns > 0 {
+		fmt.Printf("recompile-after-change cost: %.0f%% of the initial compile\n",
+			100*float64(second.ToolRuns)/float64(first.ToolRuns))
+	} else {
+		fmt.Println("initial compile was fully served from the persistent cache")
+	}
 }

@@ -77,6 +77,14 @@ func Generate(cfg Config) ([]Sample, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// When each search probes speculatively in parallel, split the budget
+	// between module-level and probe-level parallelism.
+	if pw := cfg.Search.Workers; pw > 1 {
+		workers = (workers + pw - 1) / pw
+		if workers < 1 {
+			workers = 1
+		}
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	specs := rtlgen.GenerateMix(rng, cfg.Modules)

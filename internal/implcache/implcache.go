@@ -1,0 +1,171 @@
+// Package implcache is a content-addressed on-disk cache for
+// implementation verdicts and search results. Records are keyed by a
+// SHA-256 over caller-supplied key parts (device name, module content
+// hash, search window, placer/router configuration fingerprint), so a
+// record can never be served for inputs that differ in any way that
+// could change the verdict: any drift in the key parts addresses a
+// different file.
+//
+// The cache is safe for concurrent use within one process (atomic
+// counters, rename-into-place writes) and across processes (writers
+// produce complete files via temp-file + rename; readers treat
+// unparsable files as misses).
+package implcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"macroflow/internal/netlist"
+)
+
+// Stats are the cache's lifetime counters.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+	Stores uint64
+}
+
+// Cache is one on-disk cache directory.
+type Cache struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stores atomic.Uint64
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("implcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("implcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the hit/miss/store counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+	}
+}
+
+// Key derives the content address from the given parts. Parts are
+// length-prefixed before hashing so no two distinct part lists collide
+// by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ModuleHash fingerprints a module's content, independent of its name:
+// renaming a module must not fake a change, but any structural change
+// (cells, nets, control sets, outputs) must.
+func ModuleHash(m *netlist.Module) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "depth %d\n", m.LogicDepth)
+	for _, cs := range m.ControlSets {
+		fmt.Fprintf(h, "cs %d %d %d\n", cs.Clk, cs.Rst, cs.En)
+	}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		fmt.Fprintf(h, "cell %d %d %d %d\n", c.Kind, c.ControlSet, c.Chain, c.ChainPos)
+	}
+	for ni := range m.Nets {
+		n := &m.Nets[ni]
+		fmt.Fprintf(h, "net %d", n.Driver)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(h, " %d", s)
+		}
+		fmt.Fprintln(h)
+	}
+	for _, o := range m.Outputs {
+		fmt.Fprintf(h, "out %d\n", o)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps a key to its record file, sharded by the first byte to keep
+// directory listings manageable for large datasets.
+func (c *Cache) path(key string) string {
+	if len(key) < 2 {
+		key = "00" + key
+	}
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get loads the record stored under key into v. A missing, truncated or
+// unparsable file counts as a miss.
+func (c *Cache) Get(key string, v any) bool {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores v under key. The write is atomic: concurrent readers see
+// either the old record or the complete new one, never a torn file.
+func (c *Cache) Put(key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("implcache: %w", err)
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("implcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	c.stores.Add(1)
+	return nil
+}
+
+// Len counts the records currently on disk (test/diagnostic helper).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.Walk(c.dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() && filepath.Ext(info.Name()) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,135 @@
+package implcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/synth"
+)
+
+type record struct {
+	CF   float64
+	Runs int
+}
+
+func TestRoundtripAndCounters(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("a", "b", "c")
+
+	var got record
+	if c.Get(key, &got) {
+		t.Fatal("empty cache must miss")
+	}
+	if err := c.Put(key, record{CF: 1.04, Runs: 28}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &got) {
+		t.Fatal("stored record must hit")
+	}
+	if got.CF != 1.04 || got.Runs != 28 {
+		t.Fatalf("roundtrip corrupted record: %+v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want 1/1/1", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCrossProcessReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("device", "module", "window")
+	if err := c1.Put(key, record{CF: 0.94}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Cache over the same directory models a new process.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got record
+	if !c2.Get(key, &got) || got.CF != 0.94 {
+		t.Fatalf("reopened cache must serve the record, got %+v", got)
+	}
+	if st := c2.Stats(); st.Hits != 1 || st.Stores != 0 {
+		t.Fatalf("reopened stats = %+v, want fresh counters with 1 hit", st)
+	}
+}
+
+func TestCorruptFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("x")
+	if err := c.Put(key, record{CF: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the record file mid-JSON.
+	var file string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			file = p
+		}
+		return nil
+	})
+	if file == "" {
+		t.Fatal("record file not found")
+	}
+	if err := os.WriteFile(file, []byte(`{"CF":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got record
+	if c.Get(key, &got) {
+		t.Fatal("corrupt record must count as a miss")
+	}
+}
+
+func TestKeyIsLengthPrefixed(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("keys must not collide by concatenation")
+	}
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("keys must be deterministic")
+	}
+	if Key("a") == Key("a", "") {
+		t.Fatal("trailing empty part must change the key")
+	}
+}
+
+func TestModuleHashContentAddressed(t *testing.T) {
+	build := func(name string, seed int64) string {
+		m, err := synth.Elaborate(rtlgen.Spec{
+			Name: name,
+			Components: []rtlgen.Component{
+				rtlgen.RandomLogic{LUTs: 80, Fanin: 4, Depth: 3, Seed: seed},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := synth.Optimize(m); err != nil {
+			t.Fatal(err)
+		}
+		return ModuleHash(m)
+	}
+	if build("alpha", 1) != build("beta", 1) {
+		t.Error("renaming a module must not change its hash")
+	}
+	if build("alpha", 1) == build("alpha", 2) {
+		t.Error("structurally different modules must hash differently")
+	}
+}

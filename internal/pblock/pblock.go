@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"macroflow/internal/fabric"
+	"macroflow/internal/implcache"
 	"macroflow/internal/netlist"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
@@ -191,11 +192,69 @@ func Implement(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, cf 
 	return &Implementation{PBlock: pb, Placement: pl, Route: rr}, nil
 }
 
-// SearchConfig controls the minimal-CF sweep.
+// Strategy selects the minimal-CF search algorithm.
+type Strategy int
+
+const (
+	// StrategyLinear is the paper's exhaustive sweep: probe every grid
+	// point from Start upward until the first feasible implementation.
+	// It is the default, and the only strategy whose ToolRuns accounting
+	// matches the paper's run-time metric (§VIII).
+	StrategyLinear Strategy = iota
+	// StrategyBisect returns the same CF as the linear sweep in O(log)
+	// instead of O(range/step) oracle runs. It bisects on the verdict
+	// that is monotone in the CF — detailed-placement success, which
+	// only needs more rectangle capacity — and then scans the short
+	// place-legal-but-unroutable zone above that boundary in ascending
+	// order, because the routing probe is a congestion measurement that
+	// is NOT monotone in the rectangle size. Identical rectangles across
+	// adjacent grid CFs are probed once (the verdict is a function of
+	// the rectangle, not the CF). See minCFBisect for the equivalence
+	// argument.
+	StrategyBisect
+)
+
+// SearchConfig controls the minimal-CF search.
 type SearchConfig struct {
 	Start float64 // first CF probed (paper: 0.9 for the dataset)
 	Step  float64 // resolution (paper: 0.02)
 	Max   float64 // give up above this CF
+	// Strategy selects the search algorithm; the zero value is the
+	// paper-fidelity linear sweep.
+	Strategy Strategy
+	// Workers > 1 enables speculative parallel probes for the bisection
+	// strategy: up to Workers candidate CFs are implemented concurrently
+	// per round and the results merge deterministically, so the returned
+	// CF is bit-identical to the serial bisection's. Callers running
+	// searches inside their own worker pools should divide the outer
+	// pool by Workers to keep total goroutines bounded.
+	Workers int
+	// Cache, when non-nil, short-circuits whole searches with verdicts
+	// persisted by previous process runs and stores new verdicts. Cache
+	// hits report ToolRuns == 0. Keys are content-addressed over the
+	// device, module content, search window and oracle configuration, so
+	// stale entries are unreachable rather than invalidated.
+	Cache *implcache.Cache
+}
+
+// cfAt returns the i-th grid point of the sweep. Indexing the grid (as
+// opposed to accumulating Step) keeps probed CFs exact over arbitrarily
+// long sweeps.
+func (s SearchConfig) cfAt(i int) float64 {
+	return roundCF(s.Start + float64(i)*s.Step)
+}
+
+// lastIndex returns the highest grid index not exceeding Max, or -1 for
+// an empty window.
+func (s SearchConfig) lastIndex() int {
+	if s.Step <= 0 || s.cfAt(0) > s.Max+1e-9 {
+		return -1
+	}
+	i := 0
+	for s.cfAt(i+1) <= s.Max+1e-9 {
+		i++
+	}
+	return i
 }
 
 // DefaultSearch returns the paper's dataset sweep parameters.
@@ -207,16 +266,39 @@ func DefaultSearch() SearchConfig {
 type SearchResult struct {
 	CF       float64
 	Impl     *Implementation
-	ToolRuns int // number of implement attempts performed
+	ToolRuns int // number of implement attempts performed by this call
 }
 
-// MinCF sweeps the correction factor from cfg.Start in cfg.Step
-// increments until the first feasible implementation, the paper's
-// ground-truth procedure for the minimal CF.
+// MinCF finds the minimal feasible correction factor on the search grid.
+// The default linear strategy sweeps from s.Start in s.Step increments
+// until the first feasible implementation — the paper's ground-truth
+// procedure; StrategyBisect returns the same CF with O(log) probes. A
+// non-nil s.Cache is consulted first and updated after fresh searches.
 func MinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
+	if s.Cache != nil {
+		return cachedMinCF(dev, m, rep, s, cfg)
+	}
+	return searchMinCF(dev, m, rep, s, cfg)
+}
+
+// searchMinCF dispatches to the configured strategy, bypassing the cache.
+func searchMinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
+	if s.Strategy == StrategyBisect {
+		return minCFBisect(dev, m, rep, s, cfg)
+	}
+	return minCFLinear(dev, m, rep, s, cfg)
+}
+
+// minCFLinear is the paper's exhaustive sweep. Every grid point is a
+// full from-scratch implement attempt and counts one tool run, matching
+// the paper's run-time accounting.
+func minCFLinear(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
 	runs := 0
-	for cf := s.Start; cf <= s.Max+1e-9; cf += s.Step {
-		cf = roundCF(cf)
+	for i := 0; ; i++ {
+		cf := s.cfAt(i)
+		if s.Step <= 0 || cf > s.Max+1e-9 {
+			break
+		}
 		runs++
 		impl, err := Implement(dev, m, rep, cf, cfg)
 		if err == nil {
@@ -226,7 +308,11 @@ func MinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s Searc
 			return SearchResult{ToolRuns: runs}, err
 		}
 	}
-	return SearchResult{ToolRuns: runs}, fmt.Errorf("pblock: no feasible CF in [%.2f, %.2f] for %s", s.Start, s.Max, m.Name)
+	return SearchResult{ToolRuns: runs}, errNoFeasible(s, m)
+}
+
+func errNoFeasible(s SearchConfig, m *netlist.Module) error {
+	return fmt.Errorf("pblock: no feasible CF in [%.2f, %.2f] for %s", s.Start, s.Max, m.Name)
 }
 
 // FromEstimate runs the paper's §VIII procedure: try the estimated CF;
@@ -247,10 +333,11 @@ func FromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, 
 	}
 	impl, ok := try(cf)
 	if !ok {
-		// Coarse upward steps of 0.1.
-		lo := cf
-		for {
-			cf = roundCF(cf + 0.1)
+		// Coarse upward steps of 0.1, indexed from the starting estimate
+		// so the probed CFs stay exact grid points over long climbs.
+		base, lo := cf, cf
+		for j := 1; ; j++ {
+			cf = roundCF(base + float64(j)*0.1)
 			if cf > s.Max {
 				return SearchResult{ToolRuns: runs}, fmt.Errorf("pblock: estimator refinement exceeded CF %.2f for %s", s.Max, m.Name)
 			}
@@ -260,8 +347,13 @@ func FromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, 
 			}
 			lo = cf
 		}
-		// Fine scan of the last interval (lo, cf) at 0.02.
-		for f := roundCF(lo + s.Step); f < cf-1e-9; f = roundCF(f + s.Step) {
+		// Fine scan of the last interval (lo, cf) at the grid resolution,
+		// indexed from lo for the same drift-free reason.
+		for i := 1; ; i++ {
+			f := roundCF(lo + float64(i)*s.Step)
+			if f >= cf-1e-9 {
+				break
+			}
 			if fineImpl, fineOK := try(f); fineOK {
 				return SearchResult{CF: f, Impl: fineImpl, ToolRuns: runs}, nil
 			}

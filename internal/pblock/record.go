@@ -1,0 +1,163 @@
+package pblock
+
+import (
+	"errors"
+	"fmt"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/implcache"
+	"macroflow/internal/netlist"
+	"macroflow/internal/place"
+	"macroflow/internal/route"
+)
+
+// ImplRecord is the serialized outcome of one minimal-CF search, the
+// unit stored in the persistent implementation cache. It holds enough of
+// the winning placement to rebuild a full Implementation via a
+// Verify-audited warm start, and enough of the search outcome (CF,
+// ToolRuns, routing result) to reproduce the original SearchResult
+// bit-identically.
+type ImplRecord struct {
+	// Feasible distinguishes a cached implementation from a cached
+	// negative verdict (the whole window infeasible).
+	Feasible bool
+	// NoFit marks the negative verdict where the module exceeded the
+	// device (ErrNoFit), which callers treat differently from a merely
+	// exhausted window.
+	NoFit bool
+
+	CF       float64
+	ToolRuns int
+
+	Rect         fabric.Rect
+	TargetSlices int
+
+	CellAt     []place.Coord
+	UsedSlices int
+	Spread     float64
+	Footprint  place.Footprint
+
+	Route route.Result
+}
+
+// RecordSearch converts a MinCF outcome into its cacheable record. The
+// second return is false when the outcome is not cacheable (an
+// unexpected error shape).
+func RecordSearch(sr SearchResult, err error) (ImplRecord, bool) {
+	switch {
+	case err == nil && sr.Impl != nil && sr.Impl.Placement != nil:
+		pl := sr.Impl.Placement
+		return ImplRecord{
+			Feasible:     true,
+			CF:           sr.CF,
+			ToolRuns:     sr.ToolRuns,
+			Rect:         sr.Impl.PBlock.Rect,
+			TargetSlices: sr.Impl.PBlock.TargetSlices,
+			CellAt:       pl.CellAt,
+			UsedSlices:   pl.UsedSlices,
+			Spread:       pl.Spread,
+			Footprint:    pl.Footprint,
+			Route:        sr.Impl.Route,
+		}, true
+	case errors.Is(err, ErrNoFit):
+		return ImplRecord{NoFit: true, ToolRuns: sr.ToolRuns}, true
+	case err != nil:
+		// No feasible CF in the window: cache the negative verdict.
+		return ImplRecord{ToolRuns: sr.ToolRuns}, true
+	}
+	return ImplRecord{}, false
+}
+
+// Rebuild reconstitutes the SearchResult a record stands for. The stored
+// placement is transplanted into a freshly built PBlock via the placer's
+// warm-start path, which audits the result with Verify — a record that
+// no longer matches the module or device falls back to ok=false and the
+// caller re-runs the search. Negative verdicts rebuild without any
+// placement work.
+func (r ImplRecord) Rebuild(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error, bool) {
+	if r.NoFit {
+		return SearchResult{}, fmt.Errorf("pblock: cached verdict: %w", ErrNoFit), true
+	}
+	if !r.Feasible {
+		return SearchResult{}, errNoFeasible(s, m), true
+	}
+	if len(r.CellAt) != len(m.Cells) {
+		return SearchResult{}, nil, false
+	}
+	warm := &place.Placement{
+		Module:     m,
+		Rect:       r.Rect,
+		CellAt:     r.CellAt,
+		UsedSlices: r.UsedSlices,
+		Spread:     r.Spread,
+		Footprint:  r.Footprint,
+	}
+	opts := cfg.Place
+	opts.Warm = warm
+	pl, err := place.Place(dev, m, rep, r.Rect, opts)
+	if err != nil {
+		return SearchResult{}, nil, false
+	}
+	return SearchResult{
+		CF: r.CF,
+		Impl: &Implementation{
+			PBlock:    PBlock{Rect: r.Rect, TargetSlices: r.TargetSlices, CF: r.CF},
+			Placement: pl,
+			Route:     r.Route,
+		},
+		ToolRuns: r.ToolRuns,
+	}, nil, true
+}
+
+// cachedMinCF wraps searchMinCF with the persistent cache: a hit
+// short-circuits the whole search (and reports ToolRuns == 0, since no
+// place-and-route ran in this process); a miss runs the configured
+// strategy and stores the outcome for future processes.
+func cachedMinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
+	key := searchCacheKey(dev, m, s, cfg)
+	var rec ImplRecord
+	if s.Cache.Get(key, &rec) {
+		if res, err, ok := rec.Rebuild(dev, m, rep, s, cfg); ok {
+			res.ToolRuns = 0
+			return res, err
+		}
+	}
+	res, err := searchMinCF(dev, m, rep, s, cfg)
+	if rec, ok := RecordSearch(res, err); ok {
+		// Best effort: a failed store degrades to a future miss.
+		_ = s.Cache.Put(key, rec)
+	}
+	return res, err
+}
+
+// searchCacheKey addresses a search outcome by everything that can
+// change it: device, module content, search window and oracle
+// configuration.
+func searchCacheKey(dev *fabric.Device, m *netlist.Module, s SearchConfig, cfg Config) string {
+	return implcache.Key(
+		"mincf",
+		dev.Name,
+		implcache.ModuleHash(m),
+		SearchFingerprint(s),
+		ConfigFingerprint(cfg),
+	)
+}
+
+// SearchFingerprint serializes the verdict-relevant part of a search
+// window. Strategy, Workers and Cache are deliberately excluded: both
+// strategies return the same CF on the same window, so their verdicts
+// are interchangeable across processes and configurations.
+func SearchFingerprint(s SearchConfig) string {
+	return fmt.Sprintf("start=%g step=%g max=%g", s.Start, s.Step, s.Max)
+}
+
+// ConfigFingerprint serializes the oracle configuration that determines
+// feasibility verdicts: PBlock geometry plus the placer and router
+// knobs. The placer's Warm pointer is transient state, not
+// configuration, and is zeroed before printing.
+func ConfigFingerprint(cfg Config) string {
+	p := cfg.Place
+	p.Warm = nil
+	return fmt.Sprintf("aspect=%g ax=%d ay=%d route=%+v place=%+v",
+		cfg.Aspect, cfg.AnchorX, cfg.AnchorY, cfg.Route, p)
+}

@@ -111,6 +111,12 @@ type Options struct {
 	// of a nearly full device. Pre-occupied slices are not counted in
 	// UsedSlices or the footprint.
 	PreOccupy float64
+	// Warm, when non-nil, is a previous placement of the same module to
+	// transplant into the new rectangle instead of re-packing from
+	// scratch (used when only the PBlock rectangle changed, e.g. when
+	// rebuilding a cached implementation). The transplanted placement is
+	// audited with Verify; any illegality falls back to a cold start.
+	Warm *Placement
 }
 
 // ErrInfeasible is returned (wrapped) when a module cannot be legally
@@ -216,6 +222,13 @@ func Place(dev *fabric.Device, m *netlist.Module, rep ShapeReport, rect fabric.R
 	}
 	if opts.Compact {
 		p.spread = 1
+	}
+	if opts.Warm != nil && opts.PreOccupy == 0 {
+		// A warm start cannot model foreign pre-occupation, so PreOccupy
+		// runs always re-pack from scratch.
+		if pl, ok := transplant(p, opts.Warm); ok {
+			return pl, nil
+		}
 	}
 	p.setCaps()
 	p.planWindows()

@@ -1,0 +1,36 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"macroflow/internal/implcache"
+	"macroflow/internal/rtlgen"
+)
+
+// TestOptimizeOrderDeterministic guards the content hash the persistent
+// implementation cache is keyed on: elaborating and optimizing the same
+// spec twice must yield byte-identical module content, including net
+// sink order. The dedup pass used to append merged sinks in map
+// iteration order, which made ~25% of generated modules hash differently
+// on every run and turned cross-process cache hits into misses.
+func TestOptimizeOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	specs := rtlgen.GenerateMix(rng, 40)
+	for _, spec := range specs {
+		hash := func() string {
+			m, err := Elaborate(spec)
+			if err != nil {
+				t.Fatalf("Elaborate(%s): %v", spec.Name, err)
+			}
+			if _, err := Optimize(m); err != nil {
+				t.Fatalf("Optimize(%s): %v", spec.Name, err)
+			}
+			return implcache.ModuleHash(m)
+		}
+		if a, b := hash(), hash(); a != b {
+			t.Errorf("%s: module hash differs between identical runs: %s vs %s",
+				spec.Name, a[:16], b[:16])
+		}
+	}
+}

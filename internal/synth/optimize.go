@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"macroflow/internal/netlist"
 )
@@ -105,8 +106,15 @@ func dedupLUTs(m *netlist.Module) int {
 	}
 
 	// Move sinks of replaced nets onto their replacement, drop replaced
-	// nets and dead cells, then compact.
+	// nets and dead cells, then compact. Replacements are applied in net
+	// order so the keeper's sink list — and everything downstream of it,
+	// like the module's content hash — is independent of map iteration.
+	replaced := make([]netlist.NetID, 0, len(replaceNet))
 	for old := range replaceNet {
+		replaced = append(replaced, old)
+	}
+	sort.Slice(replaced, func(i, j int) bool { return replaced[i] < replaced[j] })
+	for _, old := range replaced {
 		target := resolve(old)
 		m.Nets[target].Sinks = append(m.Nets[target].Sinks, m.Nets[old].Sinks...)
 		m.Nets[old].Sinks = nil

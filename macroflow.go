@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"macroflow/internal/fabric"
+	"macroflow/internal/implcache"
 	"macroflow/internal/pblock"
 )
 
@@ -79,7 +80,67 @@ func (f *Flow) Device() DeviceInfo {
 }
 
 // SetSearch overrides the CF search window (start, step, max). The paper
-// uses start 0.9 at step 0.02.
+// uses start 0.9 at step 0.02. The search strategy, probe parallelism and
+// implementation cache configured on the flow are preserved.
 func (f *Flow) SetSearch(start, step, max float64) {
-	f.search = pblock.SearchConfig{Start: start, Step: step, Max: max}
+	f.search.Start = start
+	f.search.Step = step
+	f.search.Max = max
+}
+
+// SearchStrategy selects the minimal-CF search algorithm.
+type SearchStrategy = pblock.Strategy
+
+const (
+	// SearchLinear is the paper's exhaustive sweep (the default): every
+	// grid CF from the window start is implemented until the first
+	// feasible one. Its ToolRuns accounting is the paper's run-time
+	// metric, so experiments reproducing the paper's tables use it.
+	SearchLinear = pblock.StrategyLinear
+	// SearchBisect finds the same minimal CF in O(log) place-and-route
+	// runs by galloping and bisecting over the monotone feasibility
+	// boundary. Use it when the CFs themselves are the goal (dataset
+	// generation, calibration) rather than the paper's run counts.
+	SearchBisect = pblock.StrategyBisect
+)
+
+// SetSearchStrategy selects the minimal-CF search algorithm; both
+// strategies return identical CFs.
+func (f *Flow) SetSearchStrategy(s SearchStrategy) {
+	f.search.Strategy = s
+}
+
+// SetProbeWorkers enables speculative parallel probes for the bisect
+// strategy: up to n candidate CFs are implemented concurrently per
+// search round, with a deterministic merge, so results are bit-identical
+// to the serial search. Flow entry points that run their own per-module
+// pools divide those pools by n to keep total parallelism bounded.
+func (f *Flow) SetProbeWorkers(n int) {
+	f.search.Workers = n
+}
+
+// UseImplCache attaches a persistent minimal-CF search cache rooted at
+// dir. Searches whose outcome a previous process already computed are
+// served from disk (reporting zero tool runs) with their placements
+// rebuilt and re-verified; fresh outcomes are stored for future
+// processes. The cache is content-addressed, so changing the device,
+// module, search window or oracle configuration can never serve a stale
+// record.
+func (f *Flow) UseImplCache(dir string) error {
+	c, err := implcache.Open(dir)
+	if err != nil {
+		return err
+	}
+	f.search.Cache = c
+	return nil
+}
+
+// ImplCacheStats reports the hit/miss/store counters of the cache
+// attached with UseImplCache (zero value when none is attached).
+func (f *Flow) ImplCacheStats() (hits, misses, stores uint64) {
+	if f.search.Cache == nil {
+		return 0, 0, 0
+	}
+	s := f.search.Cache.Stats()
+	return s.Hits, s.Misses, s.Stores
 }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Snapshot the benchmark suite into BENCH_<n>.json at the repo root,
+# picking the next free index so successive runs are comparable
+# (e.g. before/after a search-strategy change):
+#
+#   scripts/bench.sh                    # full suite, one iteration each
+#   scripts/bench.sh BenchmarkMinCF     # just the min-CF strategy pair
+#   COUNT=5 scripts/bench.sh            # repeat for noise estimates
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+count="${COUNT:-1}"
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+echo "benchmarking '${pattern}' (count=${count}) -> ${out}" >&2
+go test -json -run '^$' -bench "${pattern}" -benchmem -count "${count}" . >"${out}"
+echo "wrote ${out}" >&2

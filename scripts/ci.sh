@@ -1,0 +1,21 @@
+#!/bin/sh
+# The repo's full verification gate: vet, build, race-enabled tests and
+# a short pass over the benchmark suite (compile + one iteration) so the
+# benchmarks cannot rot. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..." >&2
+go vet ./...
+
+echo "==> go build ./..." >&2
+go build ./...
+
+echo "==> go test -race ./..." >&2
+go test -race ./...
+
+echo "==> go test -bench . -benchtime 1x (smoke)" >&2
+go test -run '^$' -bench . -benchtime 1x .
+
+echo "ci: all gates passed" >&2
