@@ -199,16 +199,50 @@ func BenchmarkFig4(b *testing.B) {
 // --- Fig. 5 / Fig. 13 --------------------------------------------------
 
 // BenchmarkFig5 measures the SA stitch of the full 175-instance design
-// on the xc7z020 with minimal-CF blocks.
+// on the xc7z020 with minimal-CF blocks (single serial chain).
 func BenchmarkFig5(b *testing.B) {
 	fixtures(b)
 	cfg := stitch.DefaultConfig()
 	cfg.Iterations = 50000
+	var cost float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		_ = stitch.Run(fix.stitch20, cfg)
+		cost = stitch.Run(fix.stitch20, cfg).FinalCost
 	}
+	b.ReportMetric(cost, "finalcost")
+}
+
+// BenchmarkStitchChains measures the parallel-tempering stitcher on the
+// same problem as BenchmarkFig5: four chains on a 40,000-move budget
+// versus the serial chain's 50,000. Before timing it asserts the
+// quality contract — the multi-chain run must reach at least the serial
+// final cost with the smaller budget (aggregated over three seeds; the
+// SA is stochastic per seed).
+func BenchmarkStitchChains(b *testing.B) {
+	fixtures(b)
+	serial := stitch.DefaultConfig()
+	serial.Iterations = 50000
+	chained := stitch.DefaultConfig()
+	chained.Iterations = 40000
+	chained.Chains = 4
+	var serialCost, chainedCost float64
+	for seed := int64(0); seed < 3; seed++ {
+		serial.Seed, chained.Seed = seed, seed
+		serialCost += stitch.Run(fix.stitch20, serial).FinalCost
+		chainedCost += stitch.Run(fix.stitch20, chained).FinalCost
+	}
+	if chainedCost > serialCost {
+		b.Errorf("4 chains / 40k moves cost %.1f, worse than serial 50k cost %.1f",
+			chainedCost/3, serialCost/3)
+	}
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chained.Seed = int64(i)
+		cost = stitch.Run(fix.stitch20, chained).FinalCost
+	}
+	b.ReportMetric(cost, "finalcost")
 }
 
 // BenchmarkFig5Baseline measures the monolithic full-device placement

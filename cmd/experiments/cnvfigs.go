@@ -24,8 +24,11 @@ func minSweepMode() macroflow.CFMode           { return macroflow.MinSweepCF() }
 
 func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResult {
 	res, err := f.RunCNV(mode, macroflow.CNVOptions{
-		Seed:             c.seed,
-		StitchIterations: c.stitchIters,
+		Stitch: macroflow.StitchOptions{
+			Seed:       c.seed,
+			Iterations: c.stitchIters,
+			Chains:     c.stitchChains,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,13 +122,17 @@ func fig13(c *ctx) {
 	var convE, convC, costE, costC, illE, illC float64
 	for s := int64(0); s < seeds; s++ {
 		re, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{
-			Seed: c.seed + s, StitchIterations: c.stitchIters,
+			Stitch: macroflow.StitchOptions{
+				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		rc, err := f45.RunCNV(macroflow.ConstantCF(1.68), macroflow.CNVOptions{
-			Seed: c.seed + s, StitchIterations: c.stitchIters,
+			Stitch: macroflow.StitchOptions{
+				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -17,12 +17,13 @@ import (
 // ctx caches the expensive shared artifacts (dataset, cnv labels) across
 // experiments in one invocation.
 type ctx struct {
-	seed        int64
-	modules     int
-	trees       int
-	epochs      int
-	stitchIters int
-	cacheDir    string
+	seed         int64
+	modules      int
+	trees        int
+	epochs       int
+	stitchIters  int
+	stitchChains int
+	cacheDir     string
 
 	onceCache sync.Once
 	cache     *implcache.Cache

@@ -39,17 +39,19 @@ func main() {
 	trees := flag.Int("trees", 1000, "random forest size")
 	epochs := flag.Int("epochs", 600, "neural network epochs")
 	stitchIters := flag.Int("stitch-iters", 300000, "SA iteration budget")
+	stitchChains := flag.Int("stitch-chains", 0, "parallel-tempering chains for stitching (0/1 = serial, bit-identical to previous releases)")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
 	flag.Parse()
 
 	c := &ctx{
-		seed:        *seed,
-		modules:     *modules,
-		trees:       *trees,
-		epochs:      *epochs,
-		stitchIters: *stitchIters,
-		cacheDir:    *cacheDir,
+		seed:         *seed,
+		modules:      *modules,
+		trees:        *trees,
+		epochs:       *epochs,
+		stitchIters:  *stitchIters,
+		stitchChains: *stitchChains,
+		cacheDir:     *cacheDir,
 	}
 	if *quick {
 		c.modules = 400

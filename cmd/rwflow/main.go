@@ -29,6 +29,7 @@ func main() {
 	epochs := flag.Int("epochs", 400, "NN training epochs for -mode estimator")
 	seed := flag.Int64("seed", 1, "seed")
 	iters := flag.Int("stitch-iters", 200000, "SA iterations")
+	chains := flag.Int("stitch-chains", 0, "parallel-tempering chains (0/1 = serial; results depend only on -seed and this value)")
 	showMap := flag.Bool("map", false, "print the ASCII placement map")
 	flag.Parse()
 
@@ -57,7 +58,9 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{Seed: *seed, StitchIterations: *iters})
+	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
+		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,6 +88,13 @@ func main() {
 	fmt.Printf("\nstitch: %d placed, %d unplaced; cost %.0f; converged at %d/%d iters; %d illegal moves\n",
 		res.Stitch.Placed, res.Stitch.Unplaced, res.Stitch.FinalCost,
 		res.Stitch.ConvergenceIter, res.Stitch.Iterations, res.Stitch.IllegalMoves)
+	if len(res.Stitch.Chains) > 1 {
+		fmt.Printf("chains: %d, %d accepted exchanges\n", len(res.Stitch.Chains), res.Stitch.Exchanges)
+		for _, ch := range res.Stitch.Chains {
+			fmt.Printf("  chain %d: T0=%.2f moves=%d accepts=%d illegal=%d exchanges=%d final=%.0f\n",
+				ch.Chain, ch.InitTemp, ch.Moves, ch.Accepts, ch.IllegalMoves, ch.Exchanges, ch.FinalCost)
+		}
+	}
 	if *showMap {
 		fmt.Println(res.Stitch.Map)
 	}

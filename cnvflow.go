@@ -2,7 +2,6 @@ package macroflow
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 
@@ -39,8 +38,11 @@ type StitchReport struct {
 	Unplaced        int
 	FinalCost       float64
 	ConvergenceIter int
-	IllegalMoves    int
-	Iterations      int
+	// IllegalMoves and Iterations sum over all chains.
+	IllegalMoves int
+	Iterations   int
+	// Exchanges counts accepted replica exchanges (0 for serial runs).
+	Exchanges int
 	// FreeTiles and LargestFreeRect describe the leftover fabric: a
 	// large free rectangle alongside unplaced blocks indicates dead
 	// spots and column-incompatibility losses rather than raw area
@@ -49,8 +51,11 @@ type StitchReport struct {
 	LargestFreeRect int
 	// Map is an ASCII occupancy rendering of the device (Fig. 5/13).
 	Map string
-	// Trace samples the annealing cost curve (every 256 iterations).
+	// Trace samples the annealing cost curve of the winning chain
+	// (every 256 iterations, plus the final point).
 	Trace []CostPoint
+	// Chains holds per-chain telemetry (one entry for serial runs).
+	Chains []ChainReport
 }
 
 // CostPoint is one sample of the SA cost curve.
@@ -59,10 +64,30 @@ type CostPoint struct {
 	Cost float64
 }
 
+// ChainReport is the telemetry of one annealing chain.
+type ChainReport struct {
+	// Chain is the temperature-ladder position (0 = coldest).
+	Chain int
+	// InitTemp is the chain's starting temperature.
+	InitTemp float64
+	// Moves, Accepts and IllegalMoves count the chain's proposals.
+	Moves        int
+	Accepts      int
+	IllegalMoves int
+	// Exchanges counts accepted replica exchanges involving the chain.
+	Exchanges int
+	// FinalCost is the chain's final wirelength cost (no penalties).
+	FinalCost float64
+	// Trace samples the chain's cost curve every 256 iterations.
+	Trace []CostPoint
+}
+
 // IterToReach returns the first sampled iteration at which the cost was
 // at or below the threshold, or -1 if never reached. Comparing one run's
 // IterToReach against another run's final cost measures time-to-equal-
-// quality — the paper's "converged N times faster".
+// quality — the paper's "converged N times faster". The trace always
+// ends with the final (iteration, cost) sample, so a converged run can
+// always observe its own FinalCost.
 func (r *StitchReport) IterToReach(cost float64) int {
 	for _, p := range r.Trace {
 		if p.Cost <= cost {
@@ -83,23 +108,51 @@ type CNVResult struct {
 	// FirstRunRate is the fraction of estimated blocks feasible on the
 	// first attempt (§VIII: 52.7%).
 	FirstRunRate float64
+	// CacheHits counts block types served from Implement.Cache.
+	CacheHits int
+	// Cache breaks the hits down by layer for this call.
+	Cache CacheStats
 	// Stitch is the final design assembly.
 	Stitch StitchReport
 }
 
 // CNVOptions tunes the cnvW1A1 flow run.
 type CNVOptions struct {
-	// Seed drives stitching.
-	Seed int64
-	// StitchIterations is the SA budget (default 200,000).
-	StitchIterations int
+	// Stitch tunes the SA stitcher.
+	Stitch StitchOptions
+	// Implement tunes block implementation.
+	Implement ImplementOptions
 	// SkipStitch computes per-block implementations only.
 	SkipStitch bool
-	// AdaptiveStop lets the annealer terminate once a cost plateau is
-	// reached, making Iterations a convergence-speed measurement.
+
+	// Seed drives stitching.
+	//
+	// Deprecated: set Stitch.Seed.
+	Seed int64
+	// StitchIterations is the SA budget (default 200,000).
+	//
+	// Deprecated: set Stitch.Iterations.
+	StitchIterations int
+	// AdaptiveStop lets the annealer terminate on a cost plateau.
+	//
+	// Deprecated: set Stitch.AdaptiveStop.
 	AdaptiveStop bool
 	// Workers bounds block-implementation parallelism.
+	//
+	// Deprecated: set Implement.Workers.
 	Workers int
+}
+
+// stitchOptions resolves the effective stitch options, overlaying the
+// deprecated flat fields.
+func (o CNVOptions) stitchOptions() StitchOptions {
+	return o.Stitch.merged(o.Seed, o.StitchIterations, o.AdaptiveStop)
+}
+
+// implementOptions resolves the effective implementation options,
+// overlaying the deprecated flat fields.
+func (o CNVOptions) implementOptions() ImplementOptions {
+	return o.Implement.merged(o.Workers, nil)
 }
 
 // RunCNV implements every unique block of the partitioned cnvW1A1 design
@@ -112,20 +165,14 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 		Instances: make([]int, len(design.Types)),
 	}
 	impls := make([]*pblock.Implementation, len(design.Types))
+	hits := make([]blockHit, len(design.Types))
 	errs := make([]error, len(design.Types))
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	im := opts.implementOptions()
+	search := f.searchFor(im)
 	// When the searches themselves probe speculatively, split the budget
 	// between block-level and probe-level parallelism.
-	if pw := f.search.Workers; pw > 1 {
-		workers = (workers + pw - 1) / pw
-		if workers < 1 {
-			workers = 1
-		}
-	}
+	workers := blockWorkers(im.Workers, search.Workers)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for ti := range design.Types {
@@ -134,7 +181,7 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			impls[ti], res.Blocks[ti], errs[ti] = f.implementType(design, ti, mode)
+			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.implementType(design, ti, mode, search, im.Cache)
 		}(ti)
 	}
 	wg.Wait()
@@ -144,7 +191,10 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 			return nil, fmt.Errorf("macroflow: block %s: %w", design.Types[ti].Name, errs[ti])
 		}
 		res.Instances[ti] = design.InstanceCount(ti)
-		res.TotalToolRuns += res.Blocks[ti].ToolRuns
+		if hits[ti].kind == hitMiss {
+			res.TotalToolRuns += res.Blocks[ti].ToolRuns
+		}
+		tallyHit(hits[ti], &res.CacheHits, &res.Cache)
 		if mode.kind == "estimator" && res.Blocks[ti].EstSlices >= 6 {
 			estimated++
 			if res.Blocks[ti].ToolRuns == 1 {
@@ -160,61 +210,57 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	}
 
 	prob := f.buildStitchProblem(design, impls)
-	scfg := stitch.DefaultConfig()
-	scfg.Seed = opts.Seed
-	if opts.StitchIterations > 0 {
-		scfg.Iterations = opts.StitchIterations
-	}
-	if opts.AdaptiveStop {
-		scfg.StopWindow = scfg.Iterations / 16
-	}
-	sres := stitch.Run(prob, scfg)
-	res.Stitch = StitchReport{
-		Placed:          sres.Placed,
-		Unplaced:        sres.Unplaced,
-		FinalCost:       sres.FinalCost,
-		ConvergenceIter: sres.ConvergenceIter,
-		IllegalMoves:    sres.IllegalMoves,
-		Iterations:      sres.Iterations,
-		FreeTiles:       sres.FreeTiles,
-		LargestFreeRect: sres.LargestFreeRect,
-		Map:             renderStitch(f, prob, sres),
-	}
-	for _, p := range sres.CostTrace {
-		res.Stitch.Trace = append(res.Stitch.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
-	}
+	res.Stitch = f.stitchDesign(prob, opts.stitchOptions())
 	return res, nil
 }
 
+// tallyHit folds one block's cache outcome into per-call counters;
+// cached blocks contribute no tool runs (the caller skips them).
+func tallyHit(h blockHit, cacheHits *int, stats *CacheStats) {
+	switch h.kind {
+	case hitMem:
+		*cacheHits++
+		stats.MemHits++
+	case hitDisk:
+		*cacheHits++
+		stats.DiskHits++
+	default:
+		stats.Misses++
+		if h.stored {
+			stats.Stores++
+		}
+	}
+}
+
 // implementType compiles one unique block of the cnv design under the
-// CF mode.
-func (f *Flow) implementType(d *cnv.Design, ti int, mode CFMode) (*pblock.Implementation, ModuleResult, error) {
+// CF mode, consulting the block cache when one is supplied.
+func (f *Flow) implementType(d *cnv.Design, ti int, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
 	m, err := d.Module(ti)
 	if err != nil {
-		return nil, ModuleResult{}, err
+		return nil, ModuleResult{}, blockHit{}, err
 	}
 	rep := place.QuickPlace(m)
-	sr, err := f.implementModule(m, rep, mode)
+	sr, hit, err := f.cachedImplement(m, rep, mode, search, cache)
 	if err != nil {
-		return nil, ModuleResult{}, err
+		return nil, ModuleResult{}, hit, err
 	}
-	return sr.Impl, f.moduleResult(m, rep, sr), nil
+	return sr.Impl, f.moduleResult(m, rep, sr), hit, nil
 }
 
 // implementModule applies a CF policy to an elaborated module.
-func (f *Flow) implementModule(m *netlist.Module, rep place.ShapeReport, mode CFMode) (pblock.SearchResult, error) {
+func (f *Flow) implementModule(m *netlist.Module, rep place.ShapeReport, mode CFMode, search pblock.SearchConfig) (pblock.SearchResult, error) {
 	switch mode.kind {
 	case "constant":
-		return f.constantImplement(m, rep, mode.constant)
+		return f.constantImplement(m, rep, mode.constant, search)
 	case "minsweep":
-		return pblock.MinCF(f.dev, m, rep, f.search, f.cfg)
+		return pblock.MinCF(f.dev, m, rep, search, f.cfg)
 	case "estimator":
 		if rep.EstSlices < 6 {
 			// One-or-two-tile blocks: the PBlock is straightforward and
 			// needs no estimator (§VIII); sweep from the window start.
-			return pblock.MinCF(f.dev, m, rep, f.search, f.cfg)
+			return pblock.MinCF(f.dev, m, rep, search, f.cfg)
 		}
-		return pblock.FromEstimate(f.dev, m, rep, mode.estimator.predict(rep), f.search, f.cfg)
+		return pblock.FromEstimate(f.dev, m, rep, mode.estimator.predict(rep), search, f.cfg)
 	}
 	return pblock.SearchResult{}, fmt.Errorf("macroflow: unknown CF mode %q", mode.kind)
 }

@@ -2,7 +2,6 @@ package macroflow
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"macroflow/internal/implcache"
@@ -81,10 +80,14 @@ func (d *Design) NumInstances() int { return len(d.instances) }
 // repeat compiles within one process; an optional persistent layer (see
 // NewPersistentBlockCache) carries implementations across processes.
 type BlockCache struct {
-	mu    sync.Mutex
-	m     map[string]cacheEntry
-	disk  *implcache.Cache
-	stats CacheStats
+	mu sync.Mutex
+	m  map[string]cacheEntry
+	// byModule caches search results keyed by elaborated module content
+	// (blockDiskKey), serving flows whose inputs are modules rather than
+	// specs (RunCNV) and spec-keyed misses whose content is unchanged.
+	byModule map[string]pblock.SearchResult
+	disk     *implcache.Cache
+	stats    CacheStats
 }
 
 type cacheEntry struct {
@@ -106,7 +109,10 @@ type CacheStats struct {
 
 // NewBlockCache returns an empty in-memory cache.
 func NewBlockCache() *BlockCache {
-	return &BlockCache{m: make(map[string]cacheEntry)}
+	return &BlockCache{
+		m:        make(map[string]cacheEntry),
+		byModule: make(map[string]pblock.SearchResult),
+	}
 }
 
 // NewPersistentBlockCache returns a cache backed by a content-addressed
@@ -120,7 +126,11 @@ func NewPersistentBlockCache(dir string) (*BlockCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BlockCache{m: make(map[string]cacheEntry), disk: disk}, nil
+	return &BlockCache{
+		m:        make(map[string]cacheEntry),
+		byModule: make(map[string]pblock.SearchResult),
+		disk:     disk,
+	}, nil
 }
 
 // Len returns the number of block implementations held in memory.
@@ -146,16 +156,41 @@ func (c *BlockCache) key(device string, s *Spec) string {
 
 // CompileOptions tunes Flow.Compile.
 type CompileOptions struct {
-	// Cache, when non-nil, reuses pre-implemented blocks across calls.
-	Cache *BlockCache
-	// Seed drives stitching.
-	Seed int64
-	// StitchIterations is the SA budget (default 200,000).
-	StitchIterations int
+	// Stitch tunes the SA stitcher.
+	Stitch StitchOptions
+	// Implement tunes block implementation.
+	Implement ImplementOptions
 	// SkipStitch implements the blocks only.
 	SkipStitch bool
+
+	// Cache, when non-nil, reuses pre-implemented blocks across calls.
+	//
+	// Deprecated: set Implement.Cache.
+	Cache *BlockCache
+	// Seed drives stitching.
+	//
+	// Deprecated: set Stitch.Seed.
+	Seed int64
+	// StitchIterations is the SA budget (default 200,000).
+	//
+	// Deprecated: set Stitch.Iterations.
+	StitchIterations int
 	// Workers bounds block-implementation parallelism.
+	//
+	// Deprecated: set Implement.Workers.
 	Workers int
+}
+
+// stitchOptions resolves the effective stitch options, overlaying the
+// deprecated flat fields.
+func (o CompileOptions) stitchOptions() StitchOptions {
+	return o.Stitch.merged(o.Seed, o.StitchIterations, false)
+}
+
+// implementOptions resolves the effective implementation options,
+// overlaying the deprecated flat fields.
+func (o CompileOptions) implementOptions() ImplementOptions {
+	return o.Implement.merged(o.Workers, o.Cache)
 }
 
 // CompileResult is the outcome of compiling a generic design.
@@ -187,18 +222,11 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	hits := make([]blockHit, len(d.types))
 	errs := make([]error, len(d.types))
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	im := opts.implementOptions()
+	search := f.searchFor(im)
 	// When the searches themselves probe speculatively, split the budget
 	// between block-level and probe-level parallelism.
-	if pw := f.search.Workers; pw > 1 {
-		workers = (workers + pw - 1) / pw
-		if workers < 1 {
-			workers = 1
-		}
-	}
+	workers := blockWorkers(im.Workers, search.Workers)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for ti := range d.types {
@@ -207,7 +235,7 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.compileBlock(d.types[ti], mode, opts.Cache)
+			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.compileBlock(d.types[ti], mode, search, im.Cache)
 		}(ti)
 	}
 	wg.Wait()
@@ -215,20 +243,10 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 		if errs[ti] != nil {
 			return nil, fmt.Errorf("macroflow: block %s: %w", d.names[ti], errs[ti])
 		}
-		switch hits[ti].kind {
-		case hitMem:
-			res.CacheHits++
-			res.Cache.MemHits++
-		case hitDisk:
-			res.CacheHits++
-			res.Cache.DiskHits++
-		default:
+		if hits[ti].kind == hitMiss {
 			res.ToolRuns += res.Blocks[ti].ToolRuns
-			res.Cache.Misses++
-			if hits[ti].stored {
-				res.Cache.Stores++
-			}
 		}
+		tallyHit(hits[ti], &res.CacheHits, &res.Cache)
 	}
 	if opts.SkipStitch {
 		return res, nil
@@ -244,26 +262,7 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	for _, n := range d.nets {
 		prob.Nets = append(prob.Nets, stitch.Net{From: n.from, To: n.to, Weight: float64(n.width) / 16})
 	}
-	scfg := stitch.DefaultConfig()
-	scfg.Seed = opts.Seed
-	if opts.StitchIterations > 0 {
-		scfg.Iterations = opts.StitchIterations
-	}
-	sres := stitch.Run(prob, scfg)
-	res.Stitch = StitchReport{
-		Placed:          sres.Placed,
-		Unplaced:        sres.Unplaced,
-		FinalCost:       sres.FinalCost,
-		ConvergenceIter: sres.ConvergenceIter,
-		IllegalMoves:    sres.IllegalMoves,
-		Iterations:      sres.Iterations,
-		FreeTiles:       sres.FreeTiles,
-		LargestFreeRect: sres.LargestFreeRect,
-		Map:             renderStitch(f, prob, sres),
-	}
-	for _, p := range sres.CostTrace {
-		res.Stitch.Trace = append(res.Stitch.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
-	}
+	res.Stitch = f.stitchDesign(prob, opts.stitchOptions())
 	return res, nil
 }
 
@@ -279,12 +278,11 @@ const (
 	hitDisk
 )
 
-// compileBlock implements one block type, consulting the cache layers in
-// order: the in-process map first, then the persistent store (a disk
-// record rebuilds the placement via a Verify-audited warm start and
-// recomputes the derived metrics), and only then a fresh search, whose
-// outcome is written back to both layers.
-func (f *Flow) compileBlock(spec *Spec, mode CFMode, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
+// compileBlock implements one block type: the spec-keyed in-process map
+// answers without elaborating at all; otherwise the block is elaborated
+// and handed to cachedImplement (module-keyed memory, then the
+// persistent store, then a fresh search).
+func (f *Flow) compileBlock(spec *Spec, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
 	var key string
 	if cache != nil {
 		key = cache.key(f.dev.Name, spec)
@@ -300,61 +298,88 @@ func (f *Flow) compileBlock(spec *Spec, mode CFMode, cache *BlockCache) (*pblock
 	if err != nil {
 		return nil, ModuleResult{}, blockHit{}, err
 	}
-	var diskKey string
-	if cache != nil && cache.disk != nil {
-		diskKey = f.blockDiskKey(m, rep, mode)
-		var rec pblock.ImplRecord
-		if cache.disk.Get(diskKey, &rec) {
-			if sr, rerr, ok := rec.Rebuild(f.dev, m, rep, f.search, f.cfg); ok {
-				if rerr != nil {
-					return nil, ModuleResult{}, blockHit{}, rerr
-				}
-				result := f.moduleResult(m, rep, sr)
-				cache.mu.Lock()
-				cache.m[key] = cacheEntry{impl: sr.Impl, result: result}
-				cache.stats.DiskHits++
-				cache.mu.Unlock()
-				return sr.Impl, result, blockHit{kind: hitDisk}, nil
-			}
-		}
-	}
-	sr, err := f.implementModule(m, rep, mode)
-	stored := false
-	if cache != nil && cache.disk != nil {
-		if rec, ok := pblock.RecordSearch(sr, err); ok {
-			// Best effort: a failed store degrades to a future miss.
-			if cache.disk.Put(diskKey, rec) == nil {
-				stored = true
-			}
-		}
-	}
+	sr, hit, err := f.cachedImplement(m, rep, mode, search, cache)
 	if err != nil {
-		if cache != nil {
-			cache.mu.Lock()
-			cache.stats.Misses++
-			cache.mu.Unlock()
-		}
-		return nil, ModuleResult{}, blockHit{stored: stored}, err
+		return nil, ModuleResult{}, hit, err
 	}
 	result := f.moduleResult(m, rep, sr)
 	if cache != nil {
 		cache.mu.Lock()
 		cache.m[key] = cacheEntry{impl: sr.Impl, result: result}
-		cache.stats.Misses++
+		cache.mu.Unlock()
+	}
+	return sr.Impl, result, hit, nil
+}
+
+// cachedImplement implements an elaborated module under the CF mode,
+// consulting the cache layers in order: the module-keyed in-process map,
+// then the persistent store (a disk record rebuilds the placement via a
+// Verify-audited warm start), and only then a fresh search, whose outcome
+// is written back to both layers. It is the one implementation path
+// shared by Compile and RunCNV.
+func (f *Flow) cachedImplement(m *netlist.Module, rep place.ShapeReport, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (pblock.SearchResult, blockHit, error) {
+	if cache == nil {
+		sr, err := f.implementModule(m, rep, mode, search)
+		return sr, blockHit{}, err
+	}
+	key := f.blockDiskKey(m, rep, mode, search)
+	cache.mu.Lock()
+	if cache.byModule == nil {
+		cache.byModule = make(map[string]pblock.SearchResult)
+	}
+	if sr, ok := cache.byModule[key]; ok {
+		cache.stats.MemHits++
+		cache.mu.Unlock()
+		return sr, blockHit{kind: hitMem}, nil
+	}
+	cache.mu.Unlock()
+	if cache.disk != nil {
+		var rec pblock.ImplRecord
+		if cache.disk.Get(key, &rec) {
+			if sr, rerr, ok := rec.Rebuild(f.dev, m, rep, search, f.cfg); ok {
+				if rerr != nil {
+					return pblock.SearchResult{}, blockHit{}, rerr
+				}
+				cache.mu.Lock()
+				cache.byModule[key] = sr
+				cache.stats.DiskHits++
+				cache.mu.Unlock()
+				return sr, blockHit{kind: hitDisk}, nil
+			}
+		}
+	}
+	sr, err := f.implementModule(m, rep, mode, search)
+	stored := false
+	if cache.disk != nil {
+		if rec, ok := pblock.RecordSearch(sr, err); ok {
+			// Best effort: a failed store degrades to a future miss.
+			if cache.disk.Put(key, rec) == nil {
+				stored = true
+			}
+		}
+	}
+	cache.mu.Lock()
+	cache.stats.Misses++
+	if err == nil {
+		cache.byModule[key] = sr
 		if stored {
 			cache.stats.Stores++
 		}
-		cache.mu.Unlock()
 	}
-	return sr.Impl, result, blockHit{stored: stored}, nil
+	cache.mu.Unlock()
+	if err != nil {
+		return pblock.SearchResult{}, blockHit{stored: stored}, err
+	}
+	return sr, blockHit{stored: stored}, nil
 }
 
 // blockDiskKey addresses a block's persistent record by everything that
 // can change its implementation: device, optimized module content, CF
-// policy and the oracle configuration. The estimator mode folds the
-// predicted CF into the key — a retrained estimator addresses different
-// records rather than being served stale ones.
-func (f *Flow) blockDiskKey(m *netlist.Module, rep place.ShapeReport, mode CFMode) string {
+// policy, the effective search and the oracle configuration. The
+// estimator mode folds the predicted CF into the key — a retrained
+// estimator addresses different records rather than being served stale
+// ones.
+func (f *Flow) blockDiskKey(m *netlist.Module, rep place.ShapeReport, mode CFMode, search pblock.SearchConfig) string {
 	modeFP := mode.kind
 	switch mode.kind {
 	case "constant":
@@ -371,14 +396,14 @@ func (f *Flow) blockDiskKey(m *netlist.Module, rep place.ShapeReport, mode CFMod
 		f.dev.Name,
 		implcache.ModuleHash(m),
 		modeFP,
-		pblock.SearchFingerprint(f.search),
+		pblock.SearchFingerprint(search),
 		pblock.ConfigFingerprint(f.cfg),
 	)
 }
 
 // constantImplement is the escalating constant-CF policy shared with the
 // cnv flow.
-func (f *Flow) constantImplement(m *netlist.Module, rep place.ShapeReport, cf float64) (pblock.SearchResult, error) {
+func (f *Flow) constantImplement(m *netlist.Module, rep place.ShapeReport, cf float64, search pblock.SearchConfig) (pblock.SearchResult, error) {
 	runs := 0
 	for {
 		runs++
@@ -387,7 +412,7 @@ func (f *Flow) constantImplement(m *netlist.Module, rep place.ShapeReport, cf fl
 			return pblock.SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
 		}
 		cf += 0.1
-		if cf > f.search.Max {
+		if cf > search.Max {
 			return pblock.SearchResult{}, err
 		}
 	}

@@ -71,7 +71,10 @@ func main() {
 	// First compile: everything is implemented from scratch — unless a
 	// previous process already populated the persistent cache.
 	first, err := flow.Compile(pipeline(32), macroflow.MinSweepCF(),
-		macroflow.CompileOptions{Cache: cache, Seed: 1, StitchIterations: 40000})
+		macroflow.CompileOptions{
+			Implement: macroflow.ImplementOptions{Cache: cache},
+			Stitch:    macroflow.StitchOptions{Seed: 1, Iterations: 40000},
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +85,10 @@ func main() {
 	// The DSE step: only the worker block changes (SIMD 32 -> 48).
 	// Source and sink come from the cache; only the worker re-implements.
 	second, err := flow.Compile(pipeline(48), macroflow.MinSweepCF(),
-		macroflow.CompileOptions{Cache: cache, Seed: 1, StitchIterations: 40000})
+		macroflow.CompileOptions{
+			Implement: macroflow.ImplementOptions{Cache: cache},
+			Stitch:    macroflow.StitchOptions{Seed: 1, Iterations: 40000},
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +98,10 @@ func main() {
 
 	// Recompiling the unchanged design costs no tool runs at all.
 	third, err := flow.Compile(pipeline(48), macroflow.MinSweepCF(),
-		macroflow.CompileOptions{Cache: cache, Seed: 1, StitchIterations: 40000})
+		macroflow.CompileOptions{
+			Implement: macroflow.ImplementOptions{Cache: cache},
+			Stitch:    macroflow.StitchOptions{Seed: 1, Iterations: 40000},
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

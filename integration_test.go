@@ -53,7 +53,7 @@ func TestFlowEndToEndInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := f.implementModule(m, rep, MinSweepCF())
+	sr, err := f.implementModule(m, rep, MinSweepCF(), f.search)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFlowEndToEndInvariants(t *testing.T) {
 	// The precise maze router must agree the module routes once the
 	// PBlock has some slack (at the exact minimum the two models may
 	// disagree on borderline cases — see the 'maze' experiment).
-	loose, err := f.implementModule(m, rep, ConstantCF(sr.CF+0.4))
+	loose, err := f.implementModule(m, rep, ConstantCF(sr.CF+0.4), f.search)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,344 @@
+package stitch
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// chainSeedStride separates the rng streams of the chains. Chain 0 uses
+// Seed+11 — the historical serial stream — so a single-chain run replays
+// the exact trajectory of the pre-chain annealer.
+const chainSeedStride = 7919
+
+// coldShareNum/coldShareDen is the fraction of the total move budget the
+// coldest chain receives in a multi-chain run; the remainder is split
+// evenly across the hot scout replicas.
+const (
+	coldShareNum = 11
+	coldShareDen = 20
+)
+
+// chain is one annealing replica plus its schedule state.
+type chain struct {
+	a   *annealer
+	idx int
+	// it is the next iteration index to execute; budget the per-chain
+	// move allowance.
+	it, budget int
+	// stopIter is the index the adaptive stop fired at, valid when
+	// stopped.
+	stopIter int
+	temp     float64
+	initTemp float64
+	cooling  float64
+	// adaptive-stop state
+	stopWindow  int
+	stopFrac    float64
+	windowStart float64
+	stopped     bool
+
+	trace     []CostSample
+	exchanges int
+}
+
+// iterations returns the chain's executed-iterations metric.
+func (c *chain) iterations() int {
+	if c.stopped {
+		return c.stopIter
+	}
+	return c.budget
+}
+
+// runSegment advances the chain by up to n moves. It is the historical
+// serial loop body verbatim — move, cool, sample, stop-check — so a
+// single full-budget segment is bit-identical to the pre-chain annealer.
+// progress is nil except on the serial path (chains report progress at
+// the exchange barriers instead, from the calling goroutine).
+func (c *chain) runSegment(n int, progress func(chain, iter int, cost float64)) {
+	a := c.a
+	for ; n > 0 && !c.stopped && c.it < c.budget; n-- {
+		it := c.it
+		a.tryMove(c.temp)
+		c.temp *= c.cooling
+		if it%256 == 0 {
+			c.trace = append(c.trace, CostSample{Iter: it, Cost: a.cost})
+			if progress != nil {
+				progress(c.idx, it, a.cost)
+			}
+		}
+		if a.cfg.CheckIncremental && it%1024 == 0 {
+			a.checkIncremental(it)
+		}
+		if c.stopWindow > 0 && it > 0 && it%c.stopWindow == 0 {
+			if c.windowStart-a.cost < c.stopFrac*a.cost {
+				c.stopped = true
+				c.stopIter = it
+				break
+			}
+			c.windowStart = a.cost
+		}
+		c.it = it + 1
+	}
+}
+
+// finish runs the final greedy attempt for anything still unplaced and
+// returns the chain's final total cost (penalties included).
+func (c *chain) finish() float64 {
+	a := c.a
+	replaced := false
+	for ii := range a.origins {
+		if a.origins[ii].Placed {
+			continue
+		}
+		b := &a.p.Blocks[a.p.Instances[ii].Block]
+		if ok, x, y := a.firstFit(b); ok {
+			a.setOrigin(ii, Origin{X: x, Y: y, Placed: true})
+			a.mark(b, x, y, true)
+			a.cost = a.totalCost()
+			replaced = true
+		}
+	}
+	if replaced {
+		a.refreshNetCosts()
+	}
+	return a.totalCost()
+}
+
+// runChains drives K annealing replicas (K = 1 reproduces the serial
+// annealer bit-for-bit). Chains anneal independently between fixed
+// exchange barriers; at each barrier adjacent ladder neighbours swap
+// states under the standard parallel-tempering Metropolis criterion,
+// driven by a dedicated rng — so the result depends only on (Seed,
+// Chains), never on GOMAXPROCS or goroutine scheduling.
+func runChains(p *Problem, pr *prep, cfg Config) *Result {
+	k := cfg.Chains
+	if k < 1 {
+		k = 1
+	}
+	perChain := cfg.Iterations / k
+	if perChain < 1 {
+		perChain = 1
+	}
+	// The coldest chain does the fine refinement, so it gets the lion's
+	// share of the move budget; the hot replicas are scouts that only
+	// need enough moves to keep offering alternative basins.
+	budgets := make([]int, k)
+	budgets[0] = perChain
+	if k > 1 {
+		budgets[0] = cfg.Iterations * coldShareNum / coldShareDen
+		rest := (cfg.Iterations - budgets[0]) / (k - 1)
+		if rest < 1 {
+			rest = 1
+		}
+		for ci := 1; ci < k; ci++ {
+			budgets[ci] = rest
+		}
+	}
+
+	chains := make([]*chain, k)
+	for ci := range chains {
+		a := newAnnealer(p, pr, cfg, cfg.Seed+11+chainSeedStride*int64(ci))
+		if ci == 0 {
+			a.greedyInit()
+			a.initCostState()
+		} else {
+			// The greedy start is deterministic, so every replica begins
+			// from chain 0's state — cloned, not recomputed.
+			a.cloneStateFrom(chains[0].a)
+		}
+		// The ladder spans from the historical exploratory temperature
+		// (hottest chain, c = k-1) down by TempLadder per rung, so the
+		// coldest chain refines near-greedily while the hot replicas keep
+		// escaping local minima for it. With k = 1 the anchor reduces to
+		// InitTemp — the serial schedule.
+		anchor := cfg.InitTemp / math.Pow(cfg.TempLadder, float64(k-1))
+		temp := a.cost * anchor * math.Pow(cfg.TempLadder, float64(ci))
+		if temp <= 0 {
+			temp = 1
+		}
+		// Chain 0 follows the historical annealing schedule; the hotter
+		// replicas hold their ladder temperature constant (classic
+		// parallel tempering) and feed improving states down via the
+		// exchanges.
+		cooling := math.Pow(0.001, 1.0/float64(budgets[ci])) // end at 0.1% of T0
+		if ci > 0 {
+			cooling = 1
+		}
+		stopFrac := cfg.StopFrac
+		if stopFrac <= 0 {
+			stopFrac = 0.005
+		}
+		chains[ci] = &chain{
+			a:           a,
+			idx:         ci,
+			budget:      budgets[ci],
+			temp:        temp,
+			initTemp:    temp,
+			cooling:     cooling,
+			stopWindow:  cfg.StopWindow,
+			stopFrac:    stopFrac,
+			windowStart: a.cost,
+		}
+	}
+
+	exchanges := 0
+	if k == 1 {
+		chains[0].runSegment(perChain, cfg.Progress)
+	} else {
+		// Fixed replica-exchange schedule: ExchangeRounds segments with
+		// a barrier and an exchange sweep after each but the last.
+		rounds := cfg.ExchangeRounds
+		for _, b := range budgets {
+			if rounds > b {
+				rounds = b
+			}
+		}
+		xrng := rand.New(rand.NewSource(cfg.Seed + 101))
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			for _, c := range chains {
+				n := c.budget / rounds
+				if r == rounds-1 {
+					n = c.budget // budget-bounded; drains the remainder
+				}
+				wg.Add(1)
+				go func(c *chain, n int) {
+					defer wg.Done()
+					c.runSegment(n, nil)
+				}(c, n)
+			}
+			wg.Wait()
+			if cfg.Progress != nil {
+				for _, c := range chains {
+					cfg.Progress(c.idx, c.it, c.a.cost)
+				}
+			}
+			if r == rounds-1 {
+				break
+			}
+			// Exchange sweep over adjacent ladder pairs, alternating
+			// parity per round so every neighbour pair participates.
+			for lo := r % 2; lo+1 < k; lo += 2 {
+				c1, c2 := chains[lo], chains[lo+1]
+				// Metropolis swap: always when the hotter chain holds
+				// the better state, else with ladder-scaled probability.
+				d := (1/c1.temp - 1/c2.temp) * (c1.a.cost - c2.a.cost)
+				if d >= 0 || xrng.Float64() < math.Exp(d) {
+					swapState(c1.a, c2.a)
+					c1.exchanges++
+					c2.exchanges++
+					exchanges++
+				}
+			}
+		}
+	}
+
+	// Pick the winner on total cost (penalties included), lowest chain
+	// index on ties; only the winner gets the final greedy completion
+	// pass — the losers' states are discarded anyway.
+	finals := make([]float64, k)
+	best := 0
+	if k == 1 {
+		finals[0] = chains[0].finish()
+	} else {
+		for ci, c := range chains {
+			finals[ci] = c.a.cost
+			if finals[ci] < finals[best] {
+				best = ci
+			}
+		}
+		finals[best] = chains[best].finish()
+	}
+	return buildResult(chains, best, finals, exchanges)
+}
+
+// cloneStateFrom copies src's placement state (same problem) into a.
+func (a *annealer) cloneStateFrom(src *annealer) {
+	copy(a.origins, src.origins)
+	copy(a.cx, src.cx)
+	copy(a.cy, src.cy)
+	a.netCost0 = append(a.netCost0[:0], src.netCost0...)
+	copy(a.occ.bits, src.occ.bits)
+	a.cost = src.cost
+}
+
+// swapState exchanges the annealing states (placement, occupancy, cost
+// caches) of two chains, leaving their temperatures and telemetry at
+// their ladder positions — configurations migrate across the ladder.
+func swapState(a1, a2 *annealer) {
+	a1.occ, a2.occ = a2.occ, a1.occ
+	a1.origins, a2.origins = a2.origins, a1.origins
+	a1.cx, a2.cx = a2.cx, a1.cx
+	a1.cy, a2.cy = a2.cy, a1.cy
+	a1.netCost0, a2.netCost0 = a2.netCost0, a1.netCost0
+	a1.cost, a2.cost = a2.cost, a1.cost
+}
+
+// buildResult assembles the Result from the winning chain plus per-chain
+// telemetry.
+func buildResult(chains []*chain, best int, finals []float64, exchanges int) *Result {
+	w := chains[best]
+	a := w.a
+	res := &Result{Exchanges: exchanges}
+
+	res.Origins = append([]Origin(nil), a.origins...)
+	for _, o := range a.origins {
+		if o.Placed {
+			res.Placed++
+		} else {
+			res.Unplaced++
+		}
+	}
+	final := finals[best]
+	res.FinalCost = final - float64(res.Unplaced)*a.cfg.UnplacedPenalty
+
+	trace := w.trace
+	executed := w.iterations()
+	// Always record the final (iteration, cost) point, so reaching the
+	// final cost is always observable in the trace even when the run
+	// ends off the 256-iteration sampling grid.
+	if n := len(trace); n > 0 && trace[n-1].Iter == executed {
+		trace[n-1].Cost = final
+	} else {
+		trace = append(trace, CostSample{Iter: executed, Cost: final})
+	}
+	res.CostTrace = trace
+
+	res.ConvergenceIter = w.budget
+	if len(trace) > 0 {
+		initial := trace[0].Cost
+		res.InitialCost = initial
+		threshold := final + 0.02*(initial-final)
+		for _, s := range trace {
+			if s.Cost <= threshold {
+				res.ConvergenceIter = s.Iter
+				break
+			}
+		}
+	}
+
+	for _, c := range chains {
+		res.Iterations += c.iterations()
+		res.IllegalMoves += c.a.illegal
+		cfinal := finals[c.idx]
+		unplaced := 0
+		for _, o := range c.a.origins {
+			if !o.Placed {
+				unplaced++
+			}
+		}
+		res.Chains = append(res.Chains, ChainStats{
+			Chain:        c.idx,
+			InitTemp:     c.initTemp,
+			Moves:        c.a.moves,
+			Accepts:      c.a.accepts,
+			IllegalMoves: c.a.illegal,
+			Exchanges:    c.exchanges,
+			FinalCost:    cfinal - float64(unplaced)*c.a.cfg.UnplacedPenalty,
+			Trace:        c.trace,
+		})
+	}
+	res.FreeTiles, res.LargestFreeRect = a.fragmentation()
+	return res
+}

@@ -8,9 +8,17 @@
 // its logic spans — so ragged footprints from loose PBlocks waste the
 // rows between their extremes, produce "dead spots", and cause the
 // illegal moves that slow annealing, exactly the paper's mechanism.
+//
+// The annealer runs as one serial chain (Config.Chains <= 1, the
+// paper-fidelity mode) or as K parallel-tempering replicas exchanging
+// states on a fixed schedule (see chains.go). Either way the inner loop
+// is incremental: per-net costs are cached and moves apply delta
+// updates, with the exact same arithmetic as a full recomputation, so
+// results are bit-identical to the historical full-recompute annealer.
 package stitch
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -103,7 +111,8 @@ type Problem struct {
 // Config tunes the annealer.
 type Config struct {
 	Seed int64
-	// Iterations is the SA move budget (default 200,000).
+	// Iterations is the total SA move budget (default 200,000). With
+	// Chains > 1 the budget is divided evenly across the chains.
 	Iterations int
 	// InitTemp is the starting temperature as a fraction of the initial
 	// cost (default 0.03).
@@ -112,10 +121,35 @@ type Config struct {
 	UnplacedPenalty float64
 	// StopWindow enables adaptive termination: when a window of this
 	// many iterations improves the cost by less than StopFrac
-	// (relative), the annealer stops early. 0 disables.
+	// (relative), the annealer stops early. 0 disables. With chains the
+	// window applies per chain.
 	StopWindow int
 	// StopFrac is the relative improvement threshold (default 0.005).
 	StopFrac float64
+	// Chains is the number of parallel-tempering replicas. 0 or 1 runs
+	// the single serial chain, bit-identical to the historical
+	// annealer. K > 1 runs K chains with per-chain derived seeds and a
+	// geometric temperature ladder, exchanging states on a fixed
+	// replica-exchange schedule; the result is bit-reproducible for a
+	// given (Seed, Chains) pair regardless of GOMAXPROCS.
+	Chains int
+	// TempLadder is the temperature multiplier between adjacent chains
+	// (default 3.0). The ladder is anchored at the top: chain k-1 runs at
+	// the historical exploratory temperature InitTemp·cost, and each
+	// colder chain divides by TempLadder, so chain 0 refines near-greedily.
+	TempLadder float64
+	// ExchangeRounds is the number of replica-exchange barriers spread
+	// evenly over the per-chain budget (default 16).
+	ExchangeRounds int
+	// Progress, when non-nil, receives (chain, iteration, cost)
+	// samples: every 256 iterations from the serial chain, and at every
+	// exchange barrier per chain for multi-chain runs. It is always
+	// invoked from the calling goroutine, never concurrently.
+	Progress func(chain, iter int, cost float64)
+	// CheckIncremental is a debug mode that periodically cross-checks
+	// the incremental cost state against a full recomputation and
+	// panics on drift. Expensive; for tests.
+	CheckIncremental bool
 }
 
 // DefaultConfig returns the calibrated annealer settings.
@@ -142,11 +176,14 @@ type Result struct {
 	// achieved 98% of its total cost improvement — the paper's
 	// "SA converged N times faster" metric.
 	ConvergenceIter int
-	// IllegalMoves counts proposed moves rejected for overlap.
+	// IllegalMoves counts proposed moves rejected for overlap, summed
+	// over all chains.
 	IllegalMoves int
-	// Iterations actually executed.
+	// Iterations actually executed, summed over all chains.
 	Iterations int
-	// CostTrace samples (iteration, cost) every 256 iterations.
+	// CostTrace samples (iteration, cost) every 256 iterations of the
+	// winning chain; the final (iteration, cost) point is always
+	// appended even when the run ends off the sampling grid.
 	CostTrace []CostSample
 	// FreeTiles is the number of unoccupied CLB tiles after stitching.
 	FreeTiles int
@@ -155,6 +192,30 @@ type Result struct {
 	// failures stem from column incompatibility and dead spots rather
 	// than raw area — the paper's §IV observation.
 	LargestFreeRect int
+	// Chains holds per-chain telemetry (one entry for serial runs).
+	Chains []ChainStats
+	// Exchanges counts accepted replica exchanges (0 for serial runs).
+	Exchanges int
+}
+
+// ChainStats is the telemetry of one annealing chain.
+type ChainStats struct {
+	// Chain is the ladder position (0 = coldest).
+	Chain int
+	// InitTemp is the chain's starting temperature.
+	InitTemp float64
+	// Moves is the number of SA moves the chain proposed.
+	Moves int
+	// Accepts counts accepted (relocation or swap) proposals.
+	Accepts int
+	// IllegalMoves counts proposals rejected for overlap.
+	IllegalMoves int
+	// Exchanges counts accepted replica exchanges involving the chain.
+	Exchanges int
+	// FinalCost is the chain's final wirelength cost (no penalties).
+	FinalCost float64
+	// Trace samples the chain's cost curve every 256 iterations.
+	Trace []CostSample
 }
 
 // CostSample is one point of the annealing cost curve.
@@ -210,18 +271,76 @@ func (o *occupancy) set(col, lo, hi int, on bool) {
 	}
 }
 
-// annealer carries the SA state.
+// prep holds the problem-derived lookup tables shared read-only by all
+// chains of a run.
+type prep struct {
+	// originsX[b] caches the column-compatible X origins of block b.
+	originsX [][]int
+	// netsOf[i] lists net indices touching instance i.
+	netsOf [][]int
+}
+
+func newPrep(p *Problem) *prep {
+	pr := &prep{
+		originsX: make([][]int, len(p.Blocks)),
+		netsOf:   make([][]int, len(p.Instances)),
+	}
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if len(b.Spans) == 0 {
+			pr.originsX[bi] = []int{1}
+			continue
+		}
+		pr.originsX[bi] = p.Dev.CompatibleOriginsX(b.HomeX, b.Width)
+	}
+	for ni, n := range p.Nets {
+		pr.netsOf[n.From] = append(pr.netsOf[n.From], ni)
+		if n.To != n.From {
+			pr.netsOf[n.To] = append(pr.netsOf[n.To], ni)
+		}
+	}
+	return pr
+}
+
+// annealer carries the SA state of one chain.
 type annealer struct {
 	p   *Problem
+	pr  *prep
 	cfg Config
 	rng *rand.Rand
 	occ *occupancy
-	// originsX[b] caches the column-compatible X origins of block b.
-	originsX [][]int
-	origins  []Origin
-	// netsOf[i] lists net indices touching instance i.
-	netsOf [][]int
-	cost   float64
+
+	origins []Origin
+	// cx, cy cache the wirelength centers of placed instances; they are
+	// pure functions of the origin, so the cached values are bit-equal
+	// to on-the-fly recomputation.
+	cx, cy []float64
+	// netCost0 caches the cost of every net under the current origins.
+	// Moves read the "before" side from the cache and only recompute
+	// the nets the move touches — the incremental inner loop.
+	netCost0 []float64
+	cost     float64
+
+	// pendingNets/pendingVals stage the recomputed costs of a proposed
+	// move for commit on acceptance.
+	pendingNets []int
+	pendingVals []float64
+
+	// telemetry
+	moves, accepts, illegal int
+}
+
+func newAnnealer(p *Problem, pr *prep, cfg Config, seed int64) *annealer {
+	return &annealer{
+		p:       p,
+		pr:      pr,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		occ:     newOccupancy(p.Dev),
+		origins: make([]Origin, len(p.Instances)),
+		cx:      make([]float64, len(p.Instances)),
+		cy:      make([]float64, len(p.Instances)),
+	}
 }
 
 // Run solves the stitching problem.
@@ -235,37 +354,16 @@ func Run(p *Problem, cfg Config) *Result {
 	if cfg.UnplacedPenalty <= 0 {
 		cfg.UnplacedPenalty = 2000
 	}
+	if cfg.TempLadder <= 0 {
+		cfg.TempLadder = 3.0
+	}
+	if cfg.ExchangeRounds <= 0 {
+		cfg.ExchangeRounds = 16
+	}
 	if len(p.Instances) == 0 {
 		return &Result{} // nothing to place
 	}
-	a := &annealer{
-		p:       p,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 11)),
-		occ:     newOccupancy(p.Dev),
-		origins: make([]Origin, len(p.Instances)),
-	}
-	a.originsX = make([][]int, len(p.Blocks))
-	for bi := range p.Blocks {
-		b := &p.Blocks[bi]
-		if len(b.Spans) == 0 {
-			a.originsX[bi] = []int{1}
-			continue
-		}
-		a.originsX[bi] = p.Dev.CompatibleOriginsX(b.HomeX, b.Width)
-	}
-	a.netsOf = make([][]int, len(p.Instances))
-	for ni, n := range p.Nets {
-		a.netsOf[n.From] = append(a.netsOf[n.From], ni)
-		if n.To != n.From {
-			a.netsOf[n.To] = append(a.netsOf[n.To], ni)
-		}
-	}
-
-	a.greedyInit()
-	a.cost = a.totalCost()
-	res := a.anneal()
-	return res
+	return runChains(p, newPrep(p), cfg)
 }
 
 // fits reports whether block b placed at (x, y) avoids all occupied
@@ -292,6 +390,16 @@ func (a *annealer) mark(b *Block, x, y int, on bool) {
 	}
 }
 
+// setOrigin moves an instance and refreshes its cached center.
+func (a *annealer) setOrigin(ii int, o Origin) {
+	a.origins[ii] = o
+	if o.Placed {
+		b := &a.p.Blocks[a.p.Instances[ii].Block]
+		a.cx[ii] = float64(o.X) + float64(b.Width)/2
+		a.cy[ii] = float64(o.Y) + float64(b.Height)/2
+	}
+}
+
 // greedyInit places instances area-descending, first fit.
 func (a *annealer) greedyInit() {
 	order := make([]int, len(a.p.Instances))
@@ -309,14 +417,14 @@ func (a *annealer) greedyInit() {
 	for _, ii := range order {
 		b := &a.p.Blocks[a.p.Instances[ii].Block]
 		if placed, x, y := a.firstFit(b); placed {
-			a.origins[ii] = Origin{X: x, Y: y, Placed: true}
+			a.setOrigin(ii, Origin{X: x, Y: y, Placed: true})
 			a.mark(b, x, y, true)
 		}
 	}
 }
 
 func (a *annealer) firstFit(b *Block) (bool, int, int) {
-	for _, x := range a.originsX[a.blockIndex(b)] {
+	for _, x := range a.pr.originsX[a.blockIndex(b)] {
 		for y := 0; y+b.Height <= a.p.Dev.Rows; y++ {
 			if a.fits(b, x, y) {
 				return true, x, y
@@ -335,32 +443,30 @@ func (a *annealer) blockIndex(b *Block) int {
 	return -1
 }
 
-// instCenter returns the center point of an instance for wirelength.
-func (a *annealer) instCenter(ii int) (float64, float64, bool) {
-	o := a.origins[ii]
-	if !o.Placed {
-		return 0, 0, false
-	}
-	b := &a.p.Blocks[a.p.Instances[ii].Block]
-	return float64(o.X) + float64(b.Width)/2, float64(o.Y) + float64(b.Height)/2, true
-}
-
-// netCost is the weighted Manhattan distance of one net; nets with an
-// unplaced endpoint cost the unplaced penalty share.
-func (a *annealer) netCost(ni int) float64 {
+// computeNetCost is the weighted Manhattan distance of one net; nets
+// with an unplaced endpoint cost the unplaced penalty share.
+func (a *annealer) computeNetCost(ni int) float64 {
 	n := &a.p.Nets[ni]
-	x1, y1, ok1 := a.instCenter(n.From)
-	x2, y2, ok2 := a.instCenter(n.To)
-	if !ok1 || !ok2 {
+	if !a.origins[n.From].Placed || !a.origins[n.To].Placed {
 		return 0 // the per-instance penalty covers unplaced endpoints
 	}
-	return n.Weight * (math.Abs(x1-x2) + math.Abs(y1-y2))
+	return n.Weight * (math.Abs(a.cx[n.From]-a.cx[n.To]) + math.Abs(a.cy[n.From]-a.cy[n.To]))
 }
 
+// initCostState fills the per-net cost cache and the running total.
+func (a *annealer) initCostState() {
+	a.netCost0 = make([]float64, len(a.p.Nets))
+	for ni := range a.p.Nets {
+		a.netCost0[ni] = a.computeNetCost(ni)
+	}
+	a.cost = a.totalCost()
+}
+
+// totalCost recomputes the full cost from scratch (no cache reads).
 func (a *annealer) totalCost() float64 {
 	c := 0.0
 	for ni := range a.p.Nets {
-		c += a.netCost(ni)
+		c += a.computeNetCost(ni)
 	}
 	for ii := range a.origins {
 		if !a.origins[ii].Placed {
@@ -370,11 +476,21 @@ func (a *annealer) totalCost() float64 {
 	return c
 }
 
-// instCost sums the cost of nets touching instance ii plus its penalty.
-func (a *annealer) instCost(ii int) float64 {
+// refreshNetCosts revalidates the cache after out-of-loop placements.
+func (a *annealer) refreshNetCosts() {
+	for ni := range a.p.Nets {
+		a.netCost0[ni] = a.computeNetCost(ni)
+	}
+}
+
+// cachedInstCost sums the cached cost of nets touching instance ii plus
+// its penalty. The cached values are bit-equal to recomputation and the
+// summation order matches, so the sum is bit-identical to the historical
+// full recompute.
+func (a *annealer) cachedInstCost(ii int) float64 {
 	c := 0.0
-	for _, ni := range a.netsOf[ii] {
-		c += a.netCost(ni)
+	for _, ni := range a.pr.netsOf[ii] {
+		c += a.netCost0[ni]
 	}
 	if !a.origins[ii].Placed {
 		c += a.cfg.UnplacedPenalty
@@ -382,19 +498,47 @@ func (a *annealer) instCost(ii int) float64 {
 	return c
 }
 
+// freshInstCost recomputes the nets touching instance ii under the
+// current (proposed) origins, staging each value for commit.
+func (a *annealer) freshInstCost(ii int) float64 {
+	c := 0.0
+	for _, ni := range a.pr.netsOf[ii] {
+		v := a.computeNetCost(ni)
+		a.pendingNets = append(a.pendingNets, ni)
+		a.pendingVals = append(a.pendingVals, v)
+		c += v
+	}
+	if !a.origins[ii].Placed {
+		c += a.cfg.UnplacedPenalty
+	}
+	return c
+}
+
+func (a *annealer) clearPending() {
+	a.pendingNets = a.pendingNets[:0]
+	a.pendingVals = a.pendingVals[:0]
+}
+
+func (a *annealer) commitPending() {
+	for k, ni := range a.pendingNets {
+		a.netCost0[ni] = a.pendingVals[k]
+	}
+}
+
 // tryMove proposes one SA move: usually a relocation of a random
 // instance to a random column-compatible origin, occasionally a swap of
 // two instances' positions. Overlapping proposals are rejected as
 // illegal moves.
-func (a *annealer) tryMove(temp float64, res *Result) {
+func (a *annealer) tryMove(temp float64) {
+	a.moves++
 	if len(a.p.Instances) > 1 && a.rng.Intn(8) == 0 {
-		a.trySwap(temp, res)
+		a.trySwap(temp)
 		return
 	}
 	ii := a.rng.Intn(len(a.p.Instances))
 	bidx := a.p.Instances[ii].Block
 	b := &a.p.Blocks[bidx]
-	xs := a.originsX[bidx]
+	xs := a.pr.originsX[bidx]
 	if len(xs) == 0 {
 		return
 	}
@@ -414,18 +558,21 @@ func (a *annealer) tryMove(temp float64, res *Result) {
 		if old.Placed {
 			a.mark(b, old.X, old.Y, true)
 		}
-		res.IllegalMoves++
+		a.illegal++
 		return
 	}
-	before := a.instCost(ii)
-	a.origins[ii] = Origin{X: nx, Y: ny, Placed: true}
-	after := a.instCost(ii)
+	before := a.cachedInstCost(ii)
+	a.clearPending()
+	a.setOrigin(ii, Origin{X: nx, Y: ny, Placed: true})
+	after := a.freshInstCost(ii)
 	delta := after - before
 	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
 		a.mark(b, nx, ny, true)
 		a.cost += delta
+		a.commitPending()
+		a.accepts++
 	} else {
-		a.origins[ii] = old
+		a.setOrigin(ii, old)
 		if old.Placed {
 			a.mark(b, old.X, old.Y, true)
 		}
@@ -435,7 +582,7 @@ func (a *annealer) tryMove(temp float64, res *Result) {
 // trySwap exchanges the origins of two placed instances when both fit
 // at the other's position (always true for instances of the same block;
 // for different blocks the vacated areas must cover each other).
-func (a *annealer) trySwap(temp float64, res *Result) {
+func (a *annealer) trySwap(temp float64) {
 	i1 := a.rng.Intn(len(a.p.Instances))
 	i2 := a.rng.Intn(len(a.p.Instances))
 	if i1 == i2 {
@@ -465,39 +612,80 @@ func (a *annealer) trySwap(temp float64, res *Result) {
 	if !ok {
 		a.mark(b1, o1.X, o1.Y, true)
 		a.mark(b2, o2.X, o2.Y, true)
-		res.IllegalMoves++
+		a.illegal++
 		return
 	}
-	before := a.pairCost(i1, i2)
-	a.origins[i1], a.origins[i2] = Origin{X: o2.X, Y: o2.Y, Placed: true}, Origin{X: o1.X, Y: o1.Y, Placed: true}
-	after := a.pairCost(i1, i2)
+	before := a.cachedPairCost(i1, i2)
+	a.clearPending()
+	a.setOrigin(i1, Origin{X: o2.X, Y: o2.Y, Placed: true})
+	a.setOrigin(i2, Origin{X: o1.X, Y: o1.Y, Placed: true})
+	after := a.freshPairCost(i1, i2)
 	delta := after - before
 	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
 		a.mark(b1, o2.X, o2.Y, true)
 		a.mark(b2, o1.X, o1.Y, true)
 		a.cost += delta
+		a.commitPending()
+		a.accepts++
 	} else {
-		a.origins[i1], a.origins[i2] = o1, o2
+		a.setOrigin(i1, o1)
+		a.setOrigin(i2, o2)
 		a.mark(b1, o1.X, o1.Y, true)
 		a.mark(b2, o2.X, o2.Y, true)
 	}
 }
 
-// pairCost sums the cost of the nets touching either instance, counting
-// shared nets once.
-func (a *annealer) pairCost(i1, i2 int) float64 {
-	c := a.instCost(i1)
-	for _, ni := range a.netsOf[i2] {
+// cachedPairCost sums the cached cost of the nets touching either
+// instance, counting shared nets once.
+func (a *annealer) cachedPairCost(i1, i2 int) float64 {
+	c := a.cachedInstCost(i1)
+	for _, ni := range a.pr.netsOf[i2] {
 		n := &a.p.Nets[ni]
 		if n.From == i1 || n.To == i1 {
 			continue // already counted via i1
 		}
-		c += a.netCost(ni)
+		c += a.netCost0[ni]
 	}
 	if !a.origins[i2].Placed {
 		c += a.cfg.UnplacedPenalty
 	}
 	return c
+}
+
+// freshPairCost recomputes the pair's nets under the proposed origins,
+// staging each value for commit; shared nets are computed once.
+func (a *annealer) freshPairCost(i1, i2 int) float64 {
+	c := a.freshInstCost(i1)
+	for _, ni := range a.pr.netsOf[i2] {
+		n := &a.p.Nets[ni]
+		if n.From == i1 || n.To == i1 {
+			continue // already counted via i1
+		}
+		v := a.computeNetCost(ni)
+		a.pendingNets = append(a.pendingNets, ni)
+		a.pendingVals = append(a.pendingVals, v)
+		c += v
+	}
+	if !a.origins[i2].Placed {
+		c += a.cfg.UnplacedPenalty
+	}
+	return c
+}
+
+// checkIncremental asserts the incremental cost state against a full
+// recomputation (the CheckIncremental debug mode).
+func (a *annealer) checkIncremental(it int) {
+	for ni := range a.p.Nets {
+		if got := a.computeNetCost(ni); got != a.netCost0[ni] {
+			panic(fmt.Sprintf("stitch: net %d cost cache drift at iter %d: cached %v, recomputed %v",
+				ni, it, a.netCost0[ni], got))
+		}
+	}
+	full := a.totalCost()
+	if d := math.Abs(full - a.cost); d > 1e-6*(1+math.Abs(full)) {
+		panic(fmt.Sprintf("stitch: incremental cost drift at iter %d: running %v, recomputed %v",
+			it, a.cost, full))
+	}
 }
 
 // fragmentation computes the free-CLB-tile count and the largest free
@@ -547,78 +735,4 @@ func largestInHistogram(hs []int) int {
 		}
 	}
 	return best
-}
-
-// anneal runs the SA loop.
-func (a *annealer) anneal() *Result {
-	res := &Result{}
-	iters := a.cfg.Iterations
-	temp := a.cost * a.cfg.InitTemp
-	if temp <= 0 {
-		temp = 1
-	}
-	cooling := math.Pow(0.001, 1.0/float64(iters)) // end at 0.1% of T0
-
-	var trace []CostSample
-	stopFrac := a.cfg.StopFrac
-	if stopFrac <= 0 {
-		stopFrac = 0.005
-	}
-	windowStartCost := a.cost
-	executed := iters
-
-	for it := 0; it < iters; it++ {
-		a.tryMove(temp, res)
-		temp *= cooling
-		if it%256 == 0 {
-			trace = append(trace, CostSample{Iter: it, Cost: a.cost})
-		}
-		if a.cfg.StopWindow > 0 && it > 0 && it%a.cfg.StopWindow == 0 {
-			if windowStartCost-a.cost < stopFrac*a.cost {
-				executed = it
-				break
-			}
-			windowStartCost = a.cost
-		}
-	}
-
-	// Final greedy attempt for anything still unplaced.
-	for ii := range a.origins {
-		if a.origins[ii].Placed {
-			continue
-		}
-		b := &a.p.Blocks[a.p.Instances[ii].Block]
-		if ok, x, y := a.firstFit(b); ok {
-			a.origins[ii] = Origin{X: x, Y: y, Placed: true}
-			a.mark(b, x, y, true)
-			a.cost = a.totalCost()
-		}
-	}
-
-	res.Origins = append([]Origin(nil), a.origins...)
-	for _, o := range a.origins {
-		if o.Placed {
-			res.Placed++
-		} else {
-			res.Unplaced++
-		}
-	}
-	final := a.totalCost()
-	res.FinalCost = final - float64(res.Unplaced)*a.cfg.UnplacedPenalty
-	res.Iterations = executed
-	res.ConvergenceIter = iters
-	if len(trace) > 0 {
-		initial := trace[0].Cost
-		res.InitialCost = initial
-		threshold := final + 0.02*(initial-final)
-		for _, s := range trace {
-			if s.Cost <= threshold {
-				res.ConvergenceIter = s.Iter
-				break
-			}
-		}
-	}
-	res.CostTrace = trace
-	res.FreeTiles, res.LargestFreeRect = a.fragmentation()
-	return res
 }

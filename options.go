@@ -1,0 +1,187 @@
+package macroflow
+
+import (
+	"runtime"
+
+	"macroflow/internal/pblock"
+	"macroflow/internal/stitch"
+)
+
+// StitchOptions is the single stitch-tuning surface shared by RunCNV
+// and Compile (embed via CNVOptions.Stitch / CompileOptions.Stitch).
+type StitchOptions struct {
+	// Seed drives the annealer (and, with Chains, the per-chain derived
+	// seeds and the replica-exchange schedule).
+	Seed int64
+	// Iterations is the total SA move budget (default 200,000), divided
+	// evenly across chains when Chains > 1.
+	Iterations int
+	// Chains runs K parallel-tempering replicas with a geometric
+	// temperature ladder and fixed replica-exchange barriers, returning
+	// the best chain's result. 0 or 1 keeps the single serial chain,
+	// bit-identical to previous releases. Results are bit-reproducible
+	// for a given (Seed, Chains) pair regardless of GOMAXPROCS.
+	Chains int
+	// AdaptiveStop lets the annealer terminate once a cost plateau is
+	// reached, making Iterations a convergence-speed measurement. With
+	// chains the plateau detection applies per chain.
+	AdaptiveStop bool
+	// Progress, when non-nil, receives (chain, iteration, cost)
+	// samples: every 256 iterations from a serial run, and at every
+	// exchange barrier per chain from a multi-chain run. It is always
+	// invoked from the calling goroutine.
+	Progress func(chain, iter int, cost float64)
+}
+
+// merged overlays the deprecated flat aliases onto the structured
+// options; explicitly set structured fields win.
+func (o StitchOptions) merged(seed int64, iterations int, adaptiveStop bool) StitchOptions {
+	if o.Seed == 0 {
+		o.Seed = seed
+	}
+	if o.Iterations == 0 {
+		o.Iterations = iterations
+	}
+	if adaptiveStop {
+		o.AdaptiveStop = true
+	}
+	return o
+}
+
+// SearchChoice selects a per-call minimal-CF search strategy override.
+type SearchChoice int
+
+const (
+	// SearchFlowDefault keeps the strategy configured on the Flow
+	// (SetSearchStrategy; the linear sweep unless changed).
+	SearchFlowDefault SearchChoice = iota
+	// SearchForceLinear forces the paper's exhaustive sweep.
+	SearchForceLinear
+	// SearchForceBisect forces the O(log) bisection search.
+	SearchForceBisect
+)
+
+// ImplementOptions are the block-implementation knobs shared by RunCNV
+// and Compile (embed via CNVOptions.Implement / CompileOptions.Implement),
+// so the two entry points cannot drift apart.
+type ImplementOptions struct {
+	// Workers bounds block-level implementation parallelism (default
+	// GOMAXPROCS). When the flow's search probes speculatively, the
+	// block pool is divided by the probe width to keep total
+	// parallelism bounded.
+	Workers int
+	// Cache, when non-nil, reuses pre-implemented blocks across calls
+	// (and across processes when the cache has a persistent layer).
+	Cache *BlockCache
+	// Strategy overrides the flow's minimal-CF search strategy for this
+	// call; SearchFlowDefault (the zero value) keeps the flow's
+	// setting. Both strategies return identical CFs.
+	Strategy SearchChoice
+	// ProbeWorkers overrides the flow's speculative probe parallelism
+	// for this call (0 keeps the flow's setting).
+	ProbeWorkers int
+}
+
+// merged overlays the deprecated flat aliases onto the structured
+// options.
+func (o ImplementOptions) merged(workers int, cache *BlockCache) ImplementOptions {
+	if o.Workers == 0 {
+		o.Workers = workers
+	}
+	if o.Cache == nil {
+		o.Cache = cache
+	}
+	return o
+}
+
+// searchFor resolves the effective search configuration of one call
+// from the flow's configuration plus the per-call overrides.
+func (f *Flow) searchFor(im ImplementOptions) pblock.SearchConfig {
+	s := f.search
+	switch im.Strategy {
+	case SearchForceLinear:
+		s.Strategy = pblock.StrategyLinear
+	case SearchForceBisect:
+		s.Strategy = pblock.StrategyBisect
+	}
+	if im.ProbeWorkers > 0 {
+		s.Workers = im.ProbeWorkers
+	}
+	return s
+}
+
+// blockWorkers resolves the block-level worker pool width: the
+// requested width (default GOMAXPROCS), divided by the probe width when
+// the searches themselves run speculative parallel probes.
+func blockWorkers(requested, probeWorkers int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if probeWorkers > 1 {
+		w = (w + probeWorkers - 1) / probeWorkers
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// stitchConfig maps the public options onto the annealer configuration.
+func stitchConfig(o StitchOptions) stitch.Config {
+	scfg := stitch.DefaultConfig()
+	scfg.Seed = o.Seed
+	if o.Iterations > 0 {
+		scfg.Iterations = o.Iterations
+	}
+	scfg.Chains = o.Chains
+	if o.AdaptiveStop {
+		scfg.StopWindow = scfg.Iterations / 16
+	}
+	scfg.Progress = o.Progress
+	return scfg
+}
+
+// stitchDesign runs the annealer on a prepared problem and assembles
+// the public report — the one stitching path behind RunCNV and Compile.
+func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions) StitchReport {
+	sres := stitch.Run(prob, stitchConfig(o))
+	rep := StitchReport{
+		Placed:          sres.Placed,
+		Unplaced:        sres.Unplaced,
+		FinalCost:       sres.FinalCost,
+		ConvergenceIter: sres.ConvergenceIter,
+		IllegalMoves:    sres.IllegalMoves,
+		Iterations:      sres.Iterations,
+		Exchanges:       sres.Exchanges,
+		FreeTiles:       sres.FreeTiles,
+		LargestFreeRect: sres.LargestFreeRect,
+		Map:             renderStitch(f, prob, sres),
+	}
+	for _, p := range sres.CostTrace {
+		rep.Trace = append(rep.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
+	}
+	// The annealer's trace samples its total cost, unplaced penalties
+	// included; the headline FinalCost excludes them. Pin the final
+	// sample (always present) to FinalCost so IterToReach(FinalCost)
+	// resolves even when the design overflows the device.
+	if n := len(rep.Trace); n > 0 {
+		rep.Trace[n-1].Cost = rep.FinalCost
+	}
+	for _, cs := range sres.Chains {
+		cr := ChainReport{
+			Chain:        cs.Chain,
+			InitTemp:     cs.InitTemp,
+			Moves:        cs.Moves,
+			Accepts:      cs.Accepts,
+			IllegalMoves: cs.IllegalMoves,
+			Exchanges:    cs.Exchanges,
+			FinalCost:    cs.FinalCost,
+		}
+		for _, p := range cs.Trace {
+			cr.Trace = append(cr.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
+		}
+		rep.Chains = append(rep.Chains, cr)
+	}
+	return rep
+}

@@ -1,0 +1,167 @@
+package macroflow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStitchOptionsAliasEquivalence: the deprecated flat CompileOptions
+// fields (Seed, StitchIterations) must behave exactly like the embedded
+// StitchOptions spelling.
+func TestStitchOptionsAliasEquivalence(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	oldStyle, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Seed: 3, StitchIterations: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newStyle, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Stitch: StitchOptions{Seed: 3, Iterations: 8000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldStyle.Stitch, newStyle.Stitch) {
+		t.Error("deprecated Seed/StitchIterations diverged from StitchOptions")
+	}
+	// Explicitly set structured fields win over the aliases.
+	mixed, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Seed: 99, StitchIterations: 400,
+			Stitch: StitchOptions{Seed: 3, Iterations: 8000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mixed.Stitch, newStyle.Stitch) {
+		t.Error("structured StitchOptions must take precedence over aliases")
+	}
+}
+
+// TestImplementOptionsAliasEquivalence: the deprecated Cache/Workers
+// fields must feed the same path as ImplementOptions.
+func TestImplementOptionsAliasEquivalence(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	oldCache, newCache := NewBlockCache(), NewBlockCache()
+	oldStyle, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Cache: oldCache, Workers: 2, SkipStitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newStyle, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Implement: ImplementOptions{Cache: newCache, Workers: 2}, SkipStitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldStyle.Blocks, newStyle.Blocks) {
+		t.Error("deprecated Cache/Workers diverged from ImplementOptions")
+	}
+	if oldCache.Len() != newCache.Len() {
+		t.Errorf("cache population differs: %d vs %d", oldCache.Len(), newCache.Len())
+	}
+}
+
+// TestSearchStrategyOverride: the per-call Strategy override must yield
+// the same correction factors as the flow-level setting.
+func TestSearchStrategyOverride(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	linear, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+		Implement: ImplementOptions{Strategy: SearchForceLinear}, SkipStitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bisect, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+		Implement: ImplementOptions{Strategy: SearchForceBisect}, SkipStitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range linear.Blocks {
+		if linear.Blocks[i].CF != bisect.Blocks[i].CF {
+			t.Errorf("block %s: linear CF %.2f != bisect CF %.2f",
+				linear.Blocks[i].Name, linear.Blocks[i].CF, bisect.Blocks[i].CF)
+		}
+	}
+	if bisect.Blocks[0].ToolRuns >= linear.Blocks[0].ToolRuns {
+		t.Errorf("bisect should need fewer tool runs: %d vs %d",
+			bisect.Blocks[0].ToolRuns, linear.Blocks[0].ToolRuns)
+	}
+}
+
+// TestIterToReachFinalCost: the stitch trace must always end with a
+// sample at FinalCost, so IterToReach(FinalCost) never returns -1 —
+// serial or chained, converged or overflowing.
+func TestIterToReachFinalCost(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	for _, chains := range []int{0, 3} {
+		res, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+			Stitch: StitchOptions{Seed: 1, Iterations: 5000, Chains: chains}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it := res.Stitch.IterToReach(res.Stitch.FinalCost); it < 0 {
+			t.Errorf("chains=%d: IterToReach(FinalCost) = -1", chains)
+		}
+		if it := res.Stitch.IterToReach(res.Stitch.FinalCost - 1); it != -1 {
+			t.Errorf("chains=%d: unreachable cost should give -1, got %d", chains, it)
+		}
+	}
+}
+
+// TestCompileMultiChainDeterministic: the multi-chain path through the
+// public API is reproducible and reports per-chain telemetry.
+func TestCompileMultiChainDeterministic(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	opts := CompileOptions{Stitch: StitchOptions{Seed: 4, Iterations: 9000, Chains: 3}}
+	a, err := f.Compile(smallDesign(120), MinSweepCF(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Compile(smallDesign(120), MinSweepCF(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stitch, b.Stitch) {
+		t.Error("multi-chain compile not reproducible")
+	}
+	if len(a.Stitch.Chains) != 3 {
+		t.Fatalf("chain reports = %d, want 3", len(a.Stitch.Chains))
+	}
+	moves := 0
+	for _, ch := range a.Stitch.Chains {
+		moves += ch.Moves
+	}
+	if moves != a.Stitch.Iterations {
+		t.Errorf("sum of chain moves %d != Iterations %d", moves, a.Stitch.Iterations)
+	}
+}
+
+// TestStitchProgressCallback: Progress fires from the calling goroutine
+// with ordered per-chain samples.
+func TestStitchProgressCallback(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	type sample struct {
+		chain, iter int
+	}
+	var got []sample
+	_, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+		Stitch: StitchOptions{Seed: 1, Iterations: 6000, Chains: 2,
+			Progress: func(chain, iter int, cost float64) {
+				got = append(got, sample{chain, iter})
+			}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no progress samples")
+	}
+	seen := map[int]bool{}
+	for _, s := range got {
+		seen[s.chain] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("progress must cover both chains, saw %v", seen)
+	}
+}

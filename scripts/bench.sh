@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh                    # full suite, one iteration each
 #   scripts/bench.sh BenchmarkMinCF     # just the min-CF strategy pair
+#   scripts/bench.sh stitch             # serial-vs-chains stitch pair
 #   COUNT=5 scripts/bench.sh            # repeat for noise estimates
 set -eu
 
@@ -13,6 +14,18 @@ cd "$(dirname "$0")/.."
 pattern="${1:-.}"
 count="${COUNT:-1}"
 
+benchtime="${BENCHTIME:-1s}"
+
+# Shorthand for the stitcher acceptance pair: the serial annealer
+# (BenchmarkFig5) versus the parallel-tempering chains
+# (BenchmarkStitchChains), both reporting ns/op and finalcost. A fixed
+# iteration count pins the seed sequence, so the finalcost metric is
+# deterministic and comparable across snapshots.
+if [ "${pattern}" = "stitch" ]; then
+	pattern='^(BenchmarkFig5|BenchmarkStitchChains)$'
+	benchtime="${BENCHTIME:-20x}"
+fi
+
 n=0
 while [ -e "BENCH_${n}.json" ]; do
 	n=$((n + 1))
@@ -20,5 +33,5 @@ done
 out="BENCH_${n}.json"
 
 echo "benchmarking '${pattern}' (count=${count}) -> ${out}" >&2
-go test -json -run '^$' -bench "${pattern}" -benchmem -count "${count}" . >"${out}"
+go test -json -run '^$' -bench "${pattern}" -benchmem -benchtime "${benchtime}" -count "${count}" . >"${out}"
 echo "wrote ${out}" >&2

@@ -15,6 +15,13 @@ go build ./...
 echo "==> go test -race ./..." >&2
 go test -race ./...
 
+# The multi-chain stitcher promises bit-identical results regardless of
+# core count; re-run its determinism suite under the race detector at a
+# parallelism the default run may not have exercised.
+echo "==> stitch determinism under -race, GOMAXPROCS=4" >&2
+GOMAXPROCS=4 go test -race -run 'TestChains|TestSingleChainMatchesSerial|TestFinalCostAlwaysInTrace' ./internal/stitch/
+GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToReachFinalCost' .
+
 echo "==> go test -bench . -benchtime 1x (smoke)" >&2
 go test -run '^$' -bench . -benchtime 1x .
 
