@@ -14,6 +14,7 @@ import (
 	"macroflow/internal/fabric"
 	"macroflow/internal/ml"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
@@ -524,3 +525,54 @@ func BenchmarkStitchMoves(b *testing.B) {
 	b.ResetTimer()
 	_ = stitch.Run(fix.stitch20, cfg)
 }
+
+// --- observability overhead --------------------------------------------
+//
+// The nil-recorder contract: instrumentation with Obs == nil must cost
+// at most 1% over the uninstrumented code (gated in scripts/ci.sh and
+// snapshotted by `scripts/bench.sh obs`). BenchmarkImplementNoObs calls
+// the raw, uninstrumented oracle (pblock.Implement) at a fixed CF over
+// the whole cnv block set; BenchmarkImplementObsNil drives the same
+// oracle once per block through the instrumented search path
+// (pblock.MinCF with a degenerate one-probe window) with a nil
+// recorder, so the pair isolates the cost of the disabled span/counter
+// calls; BenchmarkImplementObsLive attaches a live recorder for the
+// absolute cost of recording.
+
+const obsBenchCF = 1.5
+
+// BenchmarkImplementNoObs is the uninstrumented baseline of the
+// overhead gate.
+func BenchmarkImplementNoObs(b *testing.B) {
+	blocks := minCFBenchBlocks(b)
+	cfg := pblock.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blocks {
+			_, _ = pblock.Implement(fix.dev, blk.m, blk.rep, obsBenchCF, cfg)
+		}
+	}
+}
+
+func runImplementObsBench(b *testing.B, rec *obs.Recorder) {
+	blocks := minCFBenchBlocks(b)
+	cfg := pblock.DefaultConfig()
+	// A one-probe window: the search dispatches through every
+	// instrumented hook but invokes the oracle exactly once per block,
+	// matching BenchmarkImplementNoObs's work.
+	s := pblock.SearchConfig{Start: obsBenchCF, Step: 0.02, Max: obsBenchCF, Obs: rec}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blocks {
+			_, _ = pblock.MinCF(fix.dev, blk.m, blk.rep, s, cfg)
+		}
+	}
+}
+
+// BenchmarkImplementObsNil is the instrumented path with recording
+// disabled — the side the ci.sh gate compares against the baseline.
+func BenchmarkImplementObsNil(b *testing.B) { runImplementObsBench(b, nil) }
+
+// BenchmarkImplementObsLive measures the instrumented path with a live
+// recorder attached (ungated; for reference).
+func BenchmarkImplementObsLive(b *testing.B) { runImplementObsBench(b, obs.New()) }

@@ -16,6 +16,7 @@ import (
 	"macroflow/internal/fabric"
 	"macroflow/internal/implcache"
 	"macroflow/internal/ml"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 )
 
@@ -30,7 +31,16 @@ func main() {
 	strategy := flag.String("strategy", "linear", "min-CF search strategy: linear (paper sweep) or bisect (same CFs, O(log) runs)")
 	probeWorkers := flag.Int("probe-workers", 1, "speculative parallel probes per bisect search (deterministic results)")
 	cacheDir := flag.String("cache", "", "persistent implementation cache directory (reused across runs)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
 	flag.Parse()
+
+	// A nil recorder disables all recording; the default outputs stay
+	// byte-identical when neither flag is given.
+	var rec *obs.Recorder
+	if *tracePath != "" || *metrics {
+		rec = obs.New()
+	}
 
 	cfg := dataset.DefaultConfig()
 	cfg.Modules = *modules
@@ -52,6 +62,7 @@ func main() {
 		log.Fatalf("unknown strategy %q (linear, bisect)", *strategy)
 	}
 	cfg.Search.Workers = *probeWorkers
+	cfg.Search.Obs = rec
 	var cache *implcache.Cache
 	if *cacheDir != "" {
 		var err error
@@ -68,7 +79,14 @@ func main() {
 	}
 	if cache != nil {
 		st := cache.Stats()
-		log.Printf("cache %s: %d hits, %d misses, %d stores", *cacheDir, st.Hits, st.Misses, st.Stores)
+		log.Printf("cache %s: %d hits, %d misses, %d stores, %d negative verdicts (this run)",
+			*cacheDir, st.Hits, st.Misses, st.Stores, st.Negatives)
+		if err := cache.FlushStats(); err != nil {
+			log.Printf("cache stats flush: %v", err)
+		}
+		lt := cache.LifetimeStats()
+		log.Printf("cache lifetime: %d hits, %d misses, %d stores, %d negative verdicts",
+			lt.Hits, lt.Misses, lt.Stores, lt.Negatives)
 	}
 	log.Printf("labeled %d of %d modules", len(samples), *modules)
 	if *capBin > 0 {
@@ -84,6 +102,17 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *tracePath != "" {
+		if err := rec.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s", *tracePath)
+	}
+	if *metrics {
+		if err := rec.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 	names := ml.All.Names()
 	fmt.Fprintf(w, "name,%s,cf\n", strings.ReplaceAll(strings.Join(names, ","), "/", "_"))

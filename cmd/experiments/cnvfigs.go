@@ -28,7 +28,9 @@ func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResu
 			Seed:       c.seed,
 			Iterations: c.stitchIters,
 			Chains:     c.stitchChains,
+			Obs:        c.rec,
 		},
+		Implement: macroflow.ImplementOptions{Obs: c.rec},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,7 +126,9 @@ func fig13(c *ctx) {
 		re, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{
 			Stitch: macroflow.StitchOptions{
 				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
+				Obs: c.rec,
 			},
+			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -132,7 +136,9 @@ func fig13(c *ctx) {
 		rc, err := f45.RunCNV(macroflow.ConstantCF(1.68), macroflow.CNVOptions{
 			Stitch: macroflow.StitchOptions{
 				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
+				Obs: c.rec,
 			},
+			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -192,11 +198,17 @@ func toolruns(c *ctx) {
 	f45.SetSearch(0.9, 0.02, 3.0)
 	est := c.nnEstimator(f45)
 
-	resE, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{Seed: c.seed, SkipStitch: true})
+	resE, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{
+		Seed: c.seed, SkipStitch: true,
+		Implement: macroflow.ImplementOptions{Obs: c.rec},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resS, err := f45.RunCNV(macroflow.MinSweepCF(), macroflow.CNVOptions{Seed: c.seed, SkipStitch: true})
+	resS, err := f45.RunCNV(macroflow.MinSweepCF(), macroflow.CNVOptions{
+		Seed: c.seed, SkipStitch: true,
+		Implement: macroflow.ImplementOptions{Obs: c.rec},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

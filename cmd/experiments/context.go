@@ -1,15 +1,18 @@
 package main
 
 import (
+	"fmt"
 	"log"
 	"runtime"
 	"sync"
 
+	"macroflow"
 	"macroflow/internal/cnv"
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
 	"macroflow/internal/implcache"
 	"macroflow/internal/ml"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 )
@@ -24,6 +27,12 @@ type ctx struct {
 	stitchIters  int
 	stitchChains int
 	cacheDir     string
+
+	// rec collects spans and metrics when -trace/-metrics is set (nil
+	// otherwise — recording fully disabled). cur is the span of the
+	// experiment currently running, set by main's dispatch loop.
+	rec *macroflow.Recorder
+	cur *macroflow.Span
 
 	onceCache sync.Once
 	cache     *implcache.Cache
@@ -74,6 +83,8 @@ func (c *ctx) dataset() ([]dataset.Sample, []dataset.Sample, []dataset.Sample, [
 		cfg.Modules = c.modules
 		cfg.Seed = c.seed
 		cfg.Search.Cache = c.implCache()
+		cfg.Search.Obs = c.rec
+		cfg.Search.Span = c.cur
 		log.Printf("generating %d-module dataset ...", cfg.Modules)
 		s, err := dataset.Generate(cfg)
 		if err != nil {
@@ -95,25 +106,37 @@ func (c *ctx) cnvLabels() []cnvLabel {
 		dev := fabric.XC7Z020()
 		d := cnv.CNVW1A1()
 		cfg := pblock.DefaultConfig()
-		search := pblock.SearchConfig{Start: cnvSearchStart, Step: 0.02, Max: 3.0, Cache: c.implCache()}
+		search := pblock.SearchConfig{Start: cnvSearchStart, Step: 0.02, Max: 3.0, Cache: c.implCache(), Obs: c.rec}
 		labels := make([]cnvLabel, len(d.Types))
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		workers := runtime.GOMAXPROCS(0)
+		root := obs.StartChild(c.rec, c.cur, "cnv.labels", obs.Int("types", len(d.Types)))
+		lanes := make(chan int, workers)
+		for l := 0; l < workers; l++ {
+			lanes <- l
+			c.rec.LaneLabel(l+1, fmt.Sprintf("implement worker %d", l))
+		}
 		for ti := range d.Types {
 			wg.Add(1)
 			go func(ti int) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				lane := <-lanes
+				defer func() { lanes <- lane }()
+				sp := root.Child("implement.block",
+					obs.String("block", d.Types[ti].Name)).WithLane(lane + 1)
+				defer sp.End()
 				m, err := d.Module(ti)
 				if err != nil {
 					log.Fatal(err)
 				}
 				rep := place.QuickPlace(m)
-				res, err := pblock.MinCF(dev, m, rep, search, cfg)
+				bsearch := search
+				bsearch.Span = sp
+				res, err := pblock.MinCF(dev, m, rep, bsearch, cfg)
 				if err != nil {
 					log.Fatalf("%s: %v", d.Types[ti].Name, err)
 				}
+				sp.Set(obs.Float("cf", res.CF), obs.Int("tool_runs", res.ToolRuns))
 				labels[ti] = cnvLabel{
 					Name:      d.Types[ti].Name,
 					Rep:       rep,
@@ -126,6 +149,7 @@ func (c *ctx) cnvLabels() []cnvLabel {
 			}(ti)
 		}
 		wg.Wait()
+		root.End()
 		c.cnvMin = labels
 	})
 	return c.cnvMin

@@ -28,6 +28,8 @@ import (
 	"log"
 	"os"
 	"strings"
+
+	"macroflow"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 	stitchChains := flag.Int("stitch-chains", 0, "parallel-tempering chains for stitching (0/1 = serial, bit-identical to previous releases)")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file — load it at chrome://tracing or https://ui.perfetto.dev")
+	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
 	flag.Parse()
 
 	c := &ctx{
@@ -52,6 +56,11 @@ func main() {
 		stitchIters:  *stitchIters,
 		stitchChains: *stitchChains,
 		cacheDir:     *cacheDir,
+	}
+	// The recorder is only allocated when asked for: a nil *Recorder
+	// disables all recording, keeping the default outputs byte-identical.
+	if *tracePath != "" || *metrics {
+		c.rec = macroflow.NewRecorder()
 	}
 	if *quick {
 		c.modules = 400
@@ -89,8 +98,23 @@ func main() {
 	for _, e := range all {
 		if want["all"] || want[e.name] {
 			fmt.Printf("\n================ %s ================\n", e.name)
+			sp := c.rec.Start("exp." + e.name)
+			c.cur = sp
 			e.run(c)
+			c.cur = nil
+			sp.End()
 			ran++
+		}
+	}
+	if *tracePath != "" {
+		if err := c.rec.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s", *tracePath)
+	}
+	if *metrics {
+		if err := c.rec.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if ran == 0 {

@@ -31,7 +31,16 @@ func main() {
 	iters := flag.Int("stitch-iters", 200000, "SA iterations")
 	chains := flag.Int("stitch-chains", 0, "parallel-tempering chains (0/1 = serial; results depend only on -seed and this value)")
 	showMap := flag.Bool("map", false, "print the ASCII placement map")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
 	flag.Parse()
+
+	// A nil recorder disables all recording; the default outputs stay
+	// byte-identical when neither flag is given.
+	var rec *macroflow.Recorder
+	if *tracePath != "" || *metrics {
+		rec = macroflow.NewRecorder()
+	}
 
 	flow, err := macroflow.NewFlow(*device)
 	if err != nil {
@@ -59,7 +68,8 @@ func main() {
 	}
 
 	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
-		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains},
+		Stitch:    macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains, Obs: rec},
+		Implement: macroflow.ImplementOptions{Obs: rec},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,6 +107,17 @@ func main() {
 	}
 	if *showMap {
 		fmt.Println(res.Stitch.Map)
+	}
+	if *tracePath != "" {
+		if err := rec.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s", *tracePath)
+	}
+	if *metrics {
+		if err := rec.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"macroflow/internal/baseline"
 	"macroflow/internal/cnv"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/stitch"
@@ -52,8 +53,12 @@ type StitchReport struct {
 	// Map is an ASCII occupancy rendering of the device (Fig. 5/13).
 	Map string
 	// Trace samples the annealing cost curve of the winning chain
-	// (every 256 iterations, plus the final point).
+	// (every TraceEvery iterations, plus the final point).
 	Trace []CostPoint
+	// TraceEvery is the sampling interval Trace and the per-chain
+	// traces were recorded at — StitchOptions.TraceEvery after
+	// validation (default 256).
+	TraceEvery int
 	// Chains holds per-chain telemetry (one entry for serial runs).
 	Chains []ChainReport
 }
@@ -78,7 +83,7 @@ type ChainReport struct {
 	Exchanges int
 	// FinalCost is the chain's final wirelength cost (no penalties).
 	FinalCost float64
-	// Trace samples the chain's cost curve every 256 iterations.
+	// Trace samples the chain's cost curve every TraceEvery iterations.
 	Trace []CostPoint
 }
 
@@ -125,11 +130,13 @@ type CNVOptions struct {
 	// SkipStitch computes per-block implementations only.
 	SkipStitch bool
 
-	// Seed drives stitching.
+	// Seed drives stitching. Setting it alongside a different non-zero
+	// Stitch.Seed logs a one-shot warning; the structured field wins.
 	//
 	// Deprecated: set Stitch.Seed.
 	Seed int64
-	// StitchIterations is the SA budget (default 200,000).
+	// StitchIterations is the SA budget (default 200,000). Conflicts
+	// with Stitch.Iterations are warned once; the structured field wins.
 	//
 	// Deprecated: set Stitch.Iterations.
 	StitchIterations int
@@ -137,7 +144,8 @@ type CNVOptions struct {
 	//
 	// Deprecated: set Stitch.AdaptiveStop.
 	AdaptiveStop bool
-	// Workers bounds block-implementation parallelism.
+	// Workers bounds block-implementation parallelism. Conflicts with
+	// Implement.Workers are warned once; the structured field wins.
 	//
 	// Deprecated: set Implement.Workers.
 	Workers int
@@ -170,18 +178,37 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 
 	im := opts.implementOptions()
 	search := f.searchFor(im)
+	rec := im.Obs
+	root := rec.Start("flow.runcnv",
+		obs.String("cf_mode", mode.kind),
+		obs.Int("types", len(design.Types)),
+		obs.Int("instances", len(design.Instances)))
 	// When the searches themselves probe speculatively, split the budget
 	// between block-level and probe-level parallelism.
 	workers := blockWorkers(im.Workers, search.Workers)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	// Lane pool: each slot doubles as a trace lane so concurrent block
+	// implementations render as parallel worker tracks.
+	lanes := make(chan int, workers)
+	for l := 0; l < workers; l++ {
+		lanes <- l
+		rec.LaneLabel(l+1, fmt.Sprintf("implement worker %d", l))
+	}
 	for ti := range design.Types {
 		wg.Add(1)
 		go func(ti int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.implementType(design, ti, mode, search, im.Cache)
+			lane := <-lanes
+			defer func() { lanes <- lane }()
+			sp := root.Child("implement.block",
+				obs.String("block", design.Types[ti].Name)).WithLane(lane + 1)
+			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.implementType(design, ti, mode, search, im.Cache, sp)
+			if errs[ti] == nil {
+				sp.Set(obs.Float("cf", res.Blocks[ti].CF),
+					obs.Int("tool_runs", res.Blocks[ti].ToolRuns),
+					obs.String("cache", hitName(hits[ti].kind)))
+			}
+			sp.End()
 		}(ti)
 	}
 	wg.Wait()
@@ -205,12 +232,20 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	if estimated > 0 {
 		res.FirstRunRate = float64(firstRun) / float64(estimated)
 	}
+	rec.Add("flow.tool_runs", int64(res.TotalToolRuns))
+	root.Set(obs.Int("tool_runs", res.TotalToolRuns),
+		obs.Int("cache_hits", res.CacheHits))
 	if opts.SkipStitch {
+		root.End()
 		return res, nil
 	}
 
 	prob := f.buildStitchProblem(design, impls)
-	res.Stitch = f.stitchDesign(prob, opts.stitchOptions())
+	res.Stitch = f.stitchDesign(prob, opts.stitchOptions(), root)
+	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
+		obs.Int("placed", res.Stitch.Placed),
+		obs.Int("unplaced", res.Stitch.Unplaced))
+	root.End()
 	return res, nil
 }
 
@@ -233,13 +268,20 @@ func tallyHit(h blockHit, cacheHits *int, stats *CacheStats) {
 }
 
 // implementType compiles one unique block of the cnv design under the
-// CF mode, consulting the block cache when one is supplied.
-func (f *Flow) implementType(d *cnv.Design, ti int, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
+// CF mode, consulting the block cache when one is supplied. sp, when
+// non-nil, is the block's trace span; search/synth/place child spans
+// nest under it.
+func (f *Flow) implementType(d *cnv.Design, ti int, mode CFMode, search pblock.SearchConfig, cache *BlockCache, sp *obs.Span) (*pblock.Implementation, ModuleResult, blockHit, error) {
+	ssp := sp.Child("synth.module")
 	m, err := d.Module(ti)
+	ssp.End()
 	if err != nil {
 		return nil, ModuleResult{}, blockHit{}, err
 	}
+	psp := sp.Child("place.quick")
 	rep := place.QuickPlace(m)
+	psp.End()
+	search.Span = sp
 	sr, hit, err := f.cachedImplement(m, rep, mode, search, cache)
 	if err != nil {
 		return nil, ModuleResult{}, hit, err

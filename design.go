@@ -6,6 +6,7 @@ import (
 
 	"macroflow/internal/implcache"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/stitch"
@@ -105,6 +106,10 @@ type CacheStats struct {
 	Misses int
 	// Stores counts records written to the persistent layer.
 	Stores int
+	// Negatives counts persistent-layer records that replayed a cached
+	// infeasibility verdict (the search is skipped, but no
+	// implementation is produced).
+	Negatives int
 }
 
 // NewBlockCache returns an empty in-memory cache.
@@ -164,18 +169,23 @@ type CompileOptions struct {
 	SkipStitch bool
 
 	// Cache, when non-nil, reuses pre-implemented blocks across calls.
+	// Conflicts with a different Implement.Cache are warned once; the
+	// structured field wins.
 	//
 	// Deprecated: set Implement.Cache.
 	Cache *BlockCache
-	// Seed drives stitching.
+	// Seed drives stitching. Conflicts with Stitch.Seed are warned
+	// once; the structured field wins.
 	//
 	// Deprecated: set Stitch.Seed.
 	Seed int64
-	// StitchIterations is the SA budget (default 200,000).
+	// StitchIterations is the SA budget (default 200,000). Conflicts
+	// with Stitch.Iterations are warned once; the structured field wins.
 	//
 	// Deprecated: set Stitch.Iterations.
 	StitchIterations int
-	// Workers bounds block-implementation parallelism.
+	// Workers bounds block-implementation parallelism. Conflicts with
+	// Implement.Workers are warned once; the structured field wins.
 	//
 	// Deprecated: set Implement.Workers.
 	Workers int
@@ -224,18 +234,37 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 
 	im := opts.implementOptions()
 	search := f.searchFor(im)
+	rec := im.Obs
+	root := rec.Start("flow.compile",
+		obs.String("cf_mode", mode.kind),
+		obs.Int("types", len(d.types)),
+		obs.Int("instances", len(d.instances)))
 	// When the searches themselves probe speculatively, split the budget
 	// between block-level and probe-level parallelism.
 	workers := blockWorkers(im.Workers, search.Workers)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	// Lane pool: each slot doubles as a trace lane so concurrent block
+	// implementations render as parallel worker tracks.
+	lanes := make(chan int, workers)
+	for l := 0; l < workers; l++ {
+		lanes <- l
+		rec.LaneLabel(l+1, fmt.Sprintf("implement worker %d", l))
+	}
 	for ti := range d.types {
 		wg.Add(1)
 		go func(ti int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.compileBlock(d.types[ti], mode, search, im.Cache)
+			lane := <-lanes
+			defer func() { lanes <- lane }()
+			sp := root.Child("implement.block",
+				obs.String("block", d.names[ti])).WithLane(lane + 1)
+			impls[ti], res.Blocks[ti], hits[ti], errs[ti] = f.compileBlock(d.types[ti], mode, search, im.Cache, sp)
+			if errs[ti] == nil {
+				sp.Set(obs.Float("cf", res.Blocks[ti].CF),
+					obs.Int("tool_runs", res.Blocks[ti].ToolRuns),
+					obs.String("cache", hitName(hits[ti].kind)))
+			}
+			sp.End()
 		}(ti)
 	}
 	wg.Wait()
@@ -248,7 +277,11 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 		}
 		tallyHit(hits[ti], &res.CacheHits, &res.Cache)
 	}
+	rec.Add("flow.tool_runs", int64(res.ToolRuns))
+	root.Set(obs.Int("tool_runs", res.ToolRuns),
+		obs.Int("cache_hits", res.CacheHits))
 	if opts.SkipStitch {
+		root.End()
 		return res, nil
 	}
 
@@ -262,7 +295,11 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	for _, n := range d.nets {
 		prob.Nets = append(prob.Nets, stitch.Net{From: n.from, To: n.to, Weight: float64(n.width) / 16})
 	}
-	res.Stitch = f.stitchDesign(prob, opts.stitchOptions())
+	res.Stitch = f.stitchDesign(prob, opts.stitchOptions(), root)
+	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
+		obs.Int("placed", res.Stitch.Placed),
+		obs.Int("unplaced", res.Stitch.Unplaced))
+	root.End()
 	return res, nil
 }
 
@@ -278,11 +315,24 @@ const (
 	hitDisk
 )
 
+// hitName renders a blockHit kind for trace attributes.
+func hitName(kind int) string {
+	switch kind {
+	case hitMem:
+		return "mem"
+	case hitDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // compileBlock implements one block type: the spec-keyed in-process map
 // answers without elaborating at all; otherwise the block is elaborated
 // and handed to cachedImplement (module-keyed memory, then the
-// persistent store, then a fresh search).
-func (f *Flow) compileBlock(spec *Spec, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (*pblock.Implementation, ModuleResult, blockHit, error) {
+// persistent store, then a fresh search). sp, when non-nil, is the
+// block's trace span.
+func (f *Flow) compileBlock(spec *Spec, mode CFMode, search pblock.SearchConfig, cache *BlockCache, sp *obs.Span) (*pblock.Implementation, ModuleResult, blockHit, error) {
 	var key string
 	if cache != nil {
 		key = cache.key(f.dev.Name, spec)
@@ -290,14 +340,16 @@ func (f *Flow) compileBlock(spec *Spec, mode CFMode, search pblock.SearchConfig,
 		if e, ok := cache.m[key]; ok {
 			cache.stats.MemHits++
 			cache.mu.Unlock()
+			search.Obs.Add("blockcache.mem_hit", 1)
 			return e.impl, e.result, blockHit{kind: hitMem}, nil
 		}
 		cache.mu.Unlock()
 	}
-	m, rep, err := f.compile(spec)
+	m, rep, err := f.compile(spec, sp)
 	if err != nil {
 		return nil, ModuleResult{}, blockHit{}, err
 	}
+	search.Span = sp
 	sr, hit, err := f.cachedImplement(m, rep, mode, search, cache)
 	if err != nil {
 		return nil, ModuleResult{}, hit, err
@@ -330,24 +382,42 @@ func (f *Flow) cachedImplement(m *netlist.Module, rep place.ShapeReport, mode CF
 	if sr, ok := cache.byModule[key]; ok {
 		cache.stats.MemHits++
 		cache.mu.Unlock()
+		search.Obs.Add("blockcache.mem_hit", 1)
 		return sr, blockHit{kind: hitMem}, nil
 	}
 	cache.mu.Unlock()
 	if cache.disk != nil {
 		var rec pblock.ImplRecord
 		if cache.disk.Get(key, &rec) {
-			if sr, rerr, ok := rec.Rebuild(f.dev, m, rep, search, f.cfg); ok {
+			rsp := obs.StartChild(search.Obs, search.Span, "cache.rebuild")
+			sr, rerr, ok := rec.Rebuild(f.dev, m, rep, search, f.cfg)
+			if ok {
 				if rerr != nil {
+					// Negative verdict replayed from disk: the cached
+					// record proves the block infeasible, no search runs.
+					rsp.Set(obs.String("verdict", "negative"))
+					rsp.End()
+					search.Obs.Add("blockcache.negative", 1)
+					cache.disk.NoteNegative()
+					cache.mu.Lock()
+					cache.stats.Negatives++
+					cache.mu.Unlock()
 					return pblock.SearchResult{}, blockHit{}, rerr
 				}
+				rsp.Set(obs.String("verdict", "warm"))
+				rsp.End()
+				search.Obs.Add("blockcache.disk_hit", 1)
 				cache.mu.Lock()
 				cache.byModule[key] = sr
 				cache.stats.DiskHits++
 				cache.mu.Unlock()
 				return sr, blockHit{kind: hitDisk}, nil
 			}
+			rsp.Set(obs.String("verdict", "stale"))
+			rsp.End()
 		}
 	}
+	search.Obs.Add("blockcache.miss", 1)
 	sr, err := f.implementModule(m, rep, mode, search)
 	stored := false
 	if cache.disk != nil {
@@ -364,6 +434,7 @@ func (f *Flow) cachedImplement(m *netlist.Module, rep place.ShapeReport, mode CF
 		cache.byModule[key] = sr
 		if stored {
 			cache.stats.Stores++
+			search.Obs.Add("blockcache.store", 1)
 		}
 	}
 	cache.mu.Unlock()
@@ -404,15 +475,28 @@ func (f *Flow) blockDiskKey(m *netlist.Module, rep place.ShapeReport, mode CFMod
 // constantImplement is the escalating constant-CF policy shared with the
 // cnv flow.
 func (f *Flow) constantImplement(m *netlist.Module, rep place.ShapeReport, cf float64, search pblock.SearchConfig) (pblock.SearchResult, error) {
+	ssp := obs.StartChild(search.Obs, search.Span, "search.constant",
+		obs.String("module", m.Name), obs.Float("cf0", cf))
+	oracle := search.Obs.Counter("mincf.oracle_runs")
 	runs := 0
 	for {
 		runs++
+		oracle.Add(1)
+		psp := ssp.Child("oracle.probe", obs.Float("cf", cf))
 		impl, err := pblock.Implement(f.dev, m, rep, cf, f.cfg)
 		if err == nil {
+			psp.Set(obs.String("verdict", "feasible"))
+			psp.End()
+			ssp.Set(obs.Float("cf", cf), obs.Int("tool_runs", runs))
+			ssp.End()
 			return pblock.SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
 		}
+		psp.Set(obs.String("verdict", "infeasible"))
+		psp.End()
 		cf += 0.1
 		if cf > search.Max {
+			ssp.Set(obs.Int("tool_runs", runs))
+			ssp.End()
 			return pblock.SearchResult{}, err
 		}
 	}

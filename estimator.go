@@ -82,7 +82,7 @@ func (e *Estimator) predict(rep place.ShapeReport) float64 {
 // PredictSpec returns the estimated minimal CF of a spec without
 // implementing it.
 func (f *Flow) PredictSpec(e *Estimator, s *Spec) (float64, error) {
-	_, rep, err := f.compile(s)
+	_, rep, err := f.compile(s, nil)
 	if err != nil {
 		return 0, err
 	}

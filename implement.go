@@ -6,6 +6,7 @@ import (
 
 	"macroflow/internal/ml"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/synth"
@@ -35,16 +36,25 @@ type ModuleResult struct {
 	CarryChains int
 }
 
-// compile elaborates and optimizes a spec.
-func (f *Flow) compile(s *Spec) (*netlist.Module, place.ShapeReport, error) {
+// compile elaborates and optimizes a spec. sp, when non-nil, is the
+// trace span the synthesis and quick-place child spans nest under.
+func (f *Flow) compile(s *Spec, sp *obs.Span) (*netlist.Module, place.ShapeReport, error) {
+	esp := sp.Child("synth.elaborate")
 	m, err := synth.Elaborate(s.inner)
+	esp.End()
 	if err != nil {
 		return nil, place.ShapeReport{}, err
 	}
-	if _, err := synth.Optimize(m); err != nil {
+	osp := sp.Child("synth.optimize")
+	_, err = synth.Optimize(m)
+	osp.End()
+	if err != nil {
 		return nil, place.ShapeReport{}, err
 	}
-	return m, place.QuickPlace(m), nil
+	qsp := sp.Child("place.quick")
+	rep := place.QuickPlace(m)
+	qsp.End()
+	return m, rep, nil
 }
 
 func (f *Flow) moduleResult(m *netlist.Module, rep place.ShapeReport, sr pblock.SearchResult) ModuleResult {
@@ -69,7 +79,7 @@ func (f *Flow) moduleResult(m *netlist.Module, rep place.ShapeReport, sr pblock.
 // Implement places and routes the module inside a PBlock built with a
 // fixed correction factor.
 func (f *Flow) Implement(s *Spec, cf float64) (ModuleResult, error) {
-	m, rep, err := f.compile(s)
+	m, rep, err := f.compile(s, nil)
 	if err != nil {
 		return ModuleResult{}, err
 	}
@@ -83,7 +93,7 @@ func (f *Flow) Implement(s *Spec, cf float64) (ModuleResult, error) {
 // MinCF sweeps the correction factor at the configured resolution and
 // returns the first (minimal) feasible implementation.
 func (f *Flow) MinCF(s *Spec) (ModuleResult, error) {
-	m, rep, err := f.compile(s)
+	m, rep, err := f.compile(s, nil)
 	if err != nil {
 		return ModuleResult{}, err
 	}
@@ -98,7 +108,7 @@ func (f *Flow) MinCF(s *Spec) (ModuleResult, error) {
 // the paper's §VIII procedure (coarse +0.1 steps up on underestimates,
 // then a fine 0.02 scan of the last interval).
 func (f *Flow) ImplementWithEstimator(s *Spec, e *Estimator) (ModuleResult, error) {
-	m, rep, err := f.compile(s)
+	m, rep, err := f.compile(s, nil)
 	if err != nil {
 		return ModuleResult{}, err
 	}
@@ -113,7 +123,7 @@ func (f *Flow) ImplementWithEstimator(s *Spec, e *Estimator) (ModuleResult, erro
 // Features returns the estimator features of a spec — useful for
 // inspecting what the models see.
 func (f *Flow) Features(s *Spec) (map[string]float64, error) {
-	_, rep, err := f.compile(s)
+	_, rep, err := f.compile(s, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +147,7 @@ func (r ModuleResult) String() string {
 // the line-oriented text format of the netlist package — useful for
 // inspecting what elaboration produced for a block.
 func (f *Flow) DumpNetlist(w io.Writer, s *Spec) error {
-	m, _, err := f.compile(s)
+	m, _, err := f.compile(s, nil)
 	if err != nil {
 		return err
 	}

@@ -49,7 +49,7 @@ func TestFlowEndToEndInvariants(t *testing.T) {
 
 	// Stage 3: the placement behind the result passes the independent
 	// legality audit and the precise maze router agrees it routes.
-	m, rep, err := f.compile(spec)
+	m, rep, err := f.compile(spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"macroflow/internal/fabric"
 	"macroflow/internal/ml"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/rtlgen"
@@ -89,6 +90,10 @@ func Generate(cfg Config) ([]Sample, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	specs := rtlgen.GenerateMix(rng, cfg.Modules)
 
+	rec := cfg.Search.Obs
+	root := obs.StartChild(rec, cfg.Search.Span, "dataset.generate",
+		obs.Int("modules", len(specs)), obs.Int("workers", workers))
+
 	type slot struct {
 		sample Sample
 		ok     bool
@@ -96,18 +101,36 @@ func Generate(cfg Config) ([]Sample, error) {
 	}
 	slots := make([]slot, len(specs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	// Lane pool: each slot doubles as a trace lane so concurrent module
+	// labeling renders as parallel worker tracks.
+	lanes := make(chan int, workers)
+	for l := 0; l < workers; l++ {
+		lanes <- l
+		rec.LaneLabel(l+1, fmt.Sprintf("dataset worker %d", l))
+	}
 	for i := range specs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s, ok, err := label(cfg, specs[i])
+			lane := <-lanes
+			defer func() { lanes <- lane }()
+			sp := root.Child("dataset.module",
+				obs.String("module", specs[i].Name)).WithLane(lane + 1)
+			mcfg := cfg
+			mcfg.Search.Span = sp
+			s, ok, err := label(mcfg, specs[i])
+			if err == nil {
+				sp.Set(obs.String("kept", fmt.Sprintf("%t", ok)))
+				if ok {
+					sp.Set(obs.Float("cf", s.CF))
+				}
+			}
+			sp.End()
 			slots[i] = slot{sample: s, ok: ok, err: err}
 		}(i)
 	}
 	wg.Wait()
+	root.End()
 
 	out := make([]Sample, 0, len(specs))
 	for i := range slots {
@@ -124,14 +147,22 @@ func Generate(cfg Config) ([]Sample, error) {
 // label elaborates, optimizes and measures one spec. ok=false marks a
 // module filtered out because no CF in range is feasible.
 func label(cfg Config, spec rtlgen.Spec) (Sample, bool, error) {
+	sp := cfg.Search.Span
+	esp := sp.Child("synth.elaborate")
 	m, err := synth.Elaborate(spec)
+	esp.End()
 	if err != nil {
 		return Sample{}, false, err
 	}
-	if _, err := synth.Optimize(m); err != nil {
+	osp := sp.Child("synth.optimize")
+	_, err = synth.Optimize(m)
+	osp.End()
+	if err != nil {
 		return Sample{}, false, err
 	}
+	qsp := sp.Child("place.quick")
 	rep := place.QuickPlace(m)
+	qsp.End()
 	// Tiny modules are excluded, as in §VIII: "we removed the modules
 	// that had one or two tiles from the evaluation, as their PBlock is
 	// straightforward and they do not require an estimator". Their CF is

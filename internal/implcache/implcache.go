@@ -19,17 +19,40 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"macroflow/internal/netlist"
 )
 
-// Stats are the cache's lifetime counters.
+// Stats are cache counters: hits, misses, stores, and how many of the
+// hits served a cached negative verdict (whole search window
+// infeasible).
 type Stats struct {
-	Hits   uint64
-	Misses uint64
-	Stores uint64
+	Hits      uint64
+	Misses    uint64
+	Stores    uint64
+	Negatives uint64
 }
+
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Stores:    s.Stores + o.Stores,
+		Negatives: s.Negatives + o.Negatives,
+	}
+}
+
+// statsFile is the lifetime-counter sidecar at the cache root. Record
+// shards live in two-character subdirectories, so the name can never
+// collide with a record.
+const statsFile = "stats.json"
+
+// statsFlushEvery bounds how many counted events may pass between
+// automatic flushes of the lifetime counters, so a crashed process
+// loses at most a small tail.
+const statsFlushEvery = 64
 
 // Cache is one on-disk cache directory.
 type Cache struct {
@@ -37,9 +60,18 @@ type Cache struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	stores atomic.Uint64
+	negs   atomic.Uint64
+
+	// base is the lifetime baseline loaded from statsFile at Open;
+	// LifetimeStats reports base plus this process's counters.
+	base    Stats
+	unsaved atomic.Uint64 // events since the last stats flush
+	flushMu sync.Mutex
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
+// Lifetime counters persisted by previous processes (see LifetimeStats)
+// are loaded from the cache's stats sidecar.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("implcache: empty directory")
@@ -47,18 +79,83 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("implcache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir}
+	// An unreadable or unparsable sidecar degrades to a zero baseline.
+	if data, err := os.ReadFile(filepath.Join(dir, statsFile)); err == nil {
+		_ = json.Unmarshal(data, &c.base)
+	}
+	return c, nil
 }
 
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// Stats returns a snapshot of the hit/miss/store counters.
+// Stats returns this process's hit/miss/store/negative counters (zero
+// at every Open). For counters that survive reopens and processes, see
+// LifetimeStats.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Stores: c.stores.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Negatives: c.negs.Load(),
+	}
+}
+
+// LifetimeStats returns the cache directory's cumulative counters: the
+// persisted baseline from previous opens plus this process's activity.
+// Persistence is best effort — counters are flushed on every store, on
+// FlushStats, and at most statsFlushEvery events apart; concurrent
+// processes on one directory overwrite last-writer-wins, so lifetime
+// counts are approximate under cross-process contention (record
+// correctness is unaffected).
+func (c *Cache) LifetimeStats() Stats {
+	return c.base.add(c.Stats())
+}
+
+// NoteNegative counts a hit that served a cached negative verdict.
+// Callers invoke it after Get returns a record they recognize as
+// negative; the cache itself cannot tell verdict shapes apart.
+func (c *Cache) NoteNegative() {
+	c.negs.Add(1)
+	c.countEvent()
+}
+
+// FlushStats persists the lifetime counters to the cache directory now.
+func (c *Cache) FlushStats() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	c.unsaved.Store(0)
+	data, err := json.Marshal(c.LifetimeStats())
+	if err != nil {
+		return fmt.Errorf("implcache: %w", err)
+	}
+	p := filepath.Join(c.dir, statsFile)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-stats-*")
+	if err != nil {
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("implcache: %w", err)
+	}
+	return nil
+}
+
+// countEvent tallies one stat-changing event and flushes the sidecar
+// when enough have accumulated.
+func (c *Cache) countEvent() {
+	if c.unsaved.Add(1) >= statsFlushEvery {
+		_ = c.FlushStats()
 	}
 }
 
@@ -116,13 +213,16 @@ func (c *Cache) Get(key string, v any) bool {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
+		c.countEvent()
 		return false
 	}
 	if err := json.Unmarshal(data, v); err != nil {
 		c.misses.Add(1)
+		c.countEvent()
 		return false
 	}
 	c.hits.Add(1)
+	c.countEvent()
 	return true
 }
 
@@ -155,14 +255,19 @@ func (c *Cache) Put(key string, v any) error {
 		return fmt.Errorf("implcache: %w", err)
 	}
 	c.stores.Add(1)
+	// Stores are rare relative to lookups; flush eagerly so a fresh
+	// process's Stores count survives even a crash right after Put.
+	_ = c.FlushStats()
 	return nil
 }
 
 // Len counts the records currently on disk (test/diagnostic helper).
+// The stats sidecar is not a record and is excluded.
 func (c *Cache) Len() int {
 	n := 0
 	filepath.Walk(c.dir, func(_ string, info os.FileInfo, err error) error {
-		if err == nil && info != nil && !info.IsDir() && filepath.Ext(info.Name()) == ".json" {
+		if err == nil && info != nil && !info.IsDir() &&
+			filepath.Ext(info.Name()) == ".json" && info.Name() != statsFile {
 			n++
 		}
 		return nil

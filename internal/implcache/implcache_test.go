@@ -81,7 +81,8 @@ func TestCorruptFileIsMiss(t *testing.T) {
 	// Truncate the record file mid-JSON.
 	var file string
 	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
+		// Skip the stats sidecar — we want the record file itself.
+		if err == nil && !info.IsDir() && info.Name() != statsFile {
 			file = p
 		}
 		return nil
@@ -131,5 +132,65 @@ func TestModuleHashContentAddressed(t *testing.T) {
 	}
 	if build("alpha", 1) == build("alpha", 2) {
 		t.Error("structurally different modules must hash differently")
+	}
+}
+
+// TestStatsSurviveReload: the lifetime counters persist in the
+// stats.json sidecar across Open calls, while Stats() stays
+// process-local (zero at every Open).
+func TestStatsSurviveReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("block", "a")
+	var got record
+	if c.Get(key, &got) {
+		t.Fatal("unexpected hit")
+	}
+	if err := c.Put(key, record{CF: 1.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &got) {
+		t.Fatal("expected hit")
+	}
+	c.NoteNegative()
+	if err := c.FlushStats(); err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Hits: 1, Misses: 1, Stores: 1, Negatives: 1}
+	if st := c.Stats(); st != want {
+		t.Fatalf("first-process Stats = %+v, want %+v", st, want)
+	}
+	if lt := c.LifetimeStats(); lt != want {
+		t.Fatalf("first-process LifetimeStats = %+v, want %+v", lt, want)
+	}
+
+	// A fresh Open (new process) starts Stats at zero but carries the
+	// lifetime baseline forward.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st != (Stats{}) {
+		t.Fatalf("reopened Stats = %+v, want zero", st)
+	}
+	if lt := c2.LifetimeStats(); lt != want {
+		t.Fatalf("reopened LifetimeStats = %+v, want %+v", lt, want)
+	}
+	if !c2.Get(key, &got) {
+		t.Fatal("expected hit after reopen")
+	}
+	if err := c2.FlushStats(); err != nil {
+		t.Fatal(err)
+	}
+	want.Hits = 2
+	if lt := c2.LifetimeStats(); lt != want {
+		t.Fatalf("accumulated LifetimeStats = %+v, want %+v", lt, want)
+	}
+	// The sidecar must not count as a cached record.
+	if n := c2.Len(); n != 1 {
+		t.Fatalf("Len() = %d, want 1 (stats.json excluded)", n)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPU is unavailable off unix; CPU columns report zero.
+func processCPU() time.Duration { return 0 }

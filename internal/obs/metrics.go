@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. Hot paths hold
+// on to the *Counter returned by Recorder.Counter and call Add on it —
+// one atomic add, no map lookup. All methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric (e.g. an acceptance rate).
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+		g.set.Store(true)
+	}
+}
+
+// Value returns the last value set (0 if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram aggregates float observations into count/sum/min/max (a
+// summary, not bucketed — enough for run reports without allocation).
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram.
+type HistSnapshot struct {
+	Count         int64
+	Sum, Min, Max float64
+}
+
+// Mean returns Sum/Count (0 for an empty histogram).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot returns the histogram's current summary.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op counter) on a nil recorder.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
+	}
+	g, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Add increments the named counter (convenience for cold paths; hot
+// loops should cache the *Counter).
+func (r *Recorder) Add(name string, d int64) { r.Counter(name).Add(d) }
+
+// SetGauge records the named gauge's value.
+func (r *Recorder) SetGauge(name string, v float64) { r.Gauge(name).Set(v) }
+
+// Observe records one sample on the named histogram.
+func (r *Recorder) Observe(name string, v float64) { r.Histogram(name).Observe(v) }
+
+// CounterValue returns the named counter's value (0 if absent).
+func (r *Recorder) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter).Value()
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's value and whether it was set.
+func (r *Recorder) GaugeValue(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	if g, ok := r.gauges.Load(name); ok {
+		gg := g.(*Gauge)
+		return gg.Value(), gg.set.Load()
+	}
+	return 0, false
+}
+
+// HistogramValue returns the named histogram's summary.
+func (r *Recorder) HistogramValue(name string) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram).Snapshot()
+	}
+	return HistSnapshot{}
+}

@@ -19,6 +19,7 @@ import (
 	"macroflow/internal/fabric"
 	"macroflow/internal/implcache"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
 )
@@ -235,6 +236,14 @@ type SearchConfig struct {
 	// device, module content, search window and oracle configuration, so
 	// stale entries are unreachable rather than invalidated.
 	Cache *implcache.Cache
+	// Obs, when non-nil, records search spans (search.mincf,
+	// oracle.probe with per-probe place/route children) and counters
+	// (mincf.oracle_runs, implcache.hit/miss/...). Nil disables all
+	// recording at no cost. Obs and Span are excluded from
+	// SearchFingerprint: observability never changes verdicts.
+	Obs *obs.Recorder
+	// Span is the parent span new search spans nest under (nil = root).
+	Span *obs.Span
 }
 
 // cfAt returns the i-th grid point of the sweep. Indexing the grid (as
@@ -275,10 +284,26 @@ type SearchResult struct {
 // procedure; StrategyBisect returns the same CF with O(log) probes. A
 // non-nil s.Cache is consulted first and updated after fresh searches.
 func MinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
+	sp := obs.StartChild(s.Obs, s.Span, "search.mincf",
+		obs.String("module", m.Name), obs.String("strategy", s.Strategy.name()))
+	s.Span = sp
+	var res SearchResult
+	var err error
 	if s.Cache != nil {
-		return cachedMinCF(dev, m, rep, s, cfg)
+		res, err = cachedMinCF(dev, m, rep, s, cfg)
+	} else {
+		res, err = searchMinCF(dev, m, rep, s, cfg)
 	}
-	return searchMinCF(dev, m, rep, s, cfg)
+	sp.Set(obs.Float("cf", res.CF), obs.Int("tool_runs", res.ToolRuns))
+	sp.End()
+	return res, err
+}
+
+func (st Strategy) name() string {
+	if st == StrategyBisect {
+		return "bisect"
+	}
+	return "linear"
 }
 
 // searchMinCF dispatches to the configured strategy, bypassing the cache.
@@ -294,13 +319,18 @@ func searchMinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s
 // the paper's run-time accounting.
 func minCFLinear(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error) {
 	runs := 0
+	oracle := s.Obs.Counter("mincf.oracle_runs")
 	for i := 0; ; i++ {
 		cf := s.cfAt(i)
 		if s.Step <= 0 || cf > s.Max+1e-9 {
 			break
 		}
 		runs++
+		oracle.Add(1)
+		psp := obs.StartChild(s.Obs, s.Span, "oracle.probe", obs.Float("cf", cf))
 		impl, err := Implement(dev, m, rep, cf, cfg)
+		psp.Set(obs.String("verdict", probeVerdict(err)))
+		psp.End()
 		if err == nil {
 			return SearchResult{CF: cf, Impl: impl, ToolRuns: runs}, nil
 		}
@@ -309,6 +339,18 @@ func minCFLinear(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s
 		}
 	}
 	return SearchResult{ToolRuns: runs}, errNoFeasible(s, m)
+}
+
+// probeVerdict names an Implement outcome for span attributes.
+func probeVerdict(err error) string {
+	switch {
+	case err == nil:
+		return "feasible"
+	case errors.Is(err, ErrNoFit):
+		return "no-fit"
+	default:
+		return "infeasible"
+	}
 }
 
 func errNoFeasible(s SearchConfig, m *netlist.Module) error {
@@ -321,10 +363,27 @@ func errNoFeasible(s SearchConfig, m *netlist.Module) error {
 // feasible CF. The returned ToolRuns counts every implement attempt, the
 // paper's run-time metric.
 func FromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, est float64, s SearchConfig, cfg Config) (SearchResult, error) {
+	sp := obs.StartChild(s.Obs, s.Span, "search.estimate",
+		obs.String("module", m.Name), obs.Float("est", est))
+	s.Span = sp
+	res, err := fromEstimate(dev, m, rep, est, s, cfg)
+	sp.Set(obs.Float("cf", res.CF), obs.Int("tool_runs", res.ToolRuns))
+	sp.End()
+	return res, err
+}
+
+// fromEstimate is FromEstimate's body, split out so the wrapper can
+// record the search span around every return path.
+func fromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, est float64, s SearchConfig, cfg Config) (SearchResult, error) {
 	runs := 0
+	oracle := s.Obs.Counter("mincf.oracle_runs")
 	try := func(cf float64) (*Implementation, bool) {
 		runs++
+		oracle.Add(1)
+		psp := obs.StartChild(s.Obs, s.Span, "oracle.probe", obs.Float("cf", cf))
 		impl, err := Implement(dev, m, rep, cf, cfg)
+		psp.Set(obs.String("verdict", probeVerdict(err)))
+		psp.End()
 		return impl, err == nil
 	}
 	cf := roundCF(est)

@@ -7,6 +7,7 @@ import (
 	"macroflow/internal/fabric"
 	"macroflow/internal/implcache"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
 )
@@ -117,17 +118,45 @@ func cachedMinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s
 	key := searchCacheKey(dev, m, s, cfg)
 	var rec ImplRecord
 	if s.Cache.Get(key, &rec) {
-		if res, err, ok := rec.Rebuild(dev, m, rep, s, cfg); ok {
+		rsp := obs.StartChild(s.Obs, s.Span, "cache.rebuild")
+		res, err, ok := rec.Rebuild(dev, m, rep, s, cfg)
+		rsp.Set(obs.String("verdict", rebuildVerdict(err, ok)))
+		rsp.End()
+		if ok {
+			s.Obs.Add("implcache.hit", 1)
+			if err != nil {
+				s.Obs.Add("implcache.negative", 1)
+				s.Cache.NoteNegative()
+			} else {
+				s.Obs.Add("place.warm_rebuilds", 1)
+			}
 			res.ToolRuns = 0
 			return res, err
 		}
+		// A record that no longer audits clean re-runs the search.
+		s.Obs.Add("implcache.rebuild_fallback", 1)
+	} else {
+		s.Obs.Add("implcache.miss", 1)
 	}
 	res, err := searchMinCF(dev, m, rep, s, cfg)
 	if rec, ok := RecordSearch(res, err); ok {
 		// Best effort: a failed store degrades to a future miss.
-		_ = s.Cache.Put(key, rec)
+		if s.Cache.Put(key, rec) == nil {
+			s.Obs.Add("implcache.store", 1)
+		}
 	}
 	return res, err
+}
+
+func rebuildVerdict(err error, ok bool) string {
+	switch {
+	case !ok:
+		return "stale"
+	case err != nil:
+		return "negative"
+	default:
+		return "warm"
+	}
 }
 
 // searchCacheKey addresses a search outcome by everything that can

@@ -6,6 +6,7 @@ import (
 
 	"macroflow/internal/fabric"
 	"macroflow/internal/netlist"
+	"macroflow/internal/obs"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
 )
@@ -46,6 +47,7 @@ type prober struct {
 	byRect map[fabric.Rect]*probeOutcome
 	runs   int
 	n      int // highest grid index within [Start, Max]
+	oracle *obs.Counter
 }
 
 func newProber(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) *prober {
@@ -53,6 +55,7 @@ func newProber(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s S
 		dev: dev, m: m, rep: rep, s: s, cfg: cfg,
 		byRect: make(map[fabric.Rect]*probeOutcome),
 		n:      s.lastIndex(),
+		oracle: s.Obs.Counter("mincf.oracle_runs"),
 	}
 }
 
@@ -83,14 +86,21 @@ func (p *prober) probeBatch(idxs []int) []*probeOutcome {
 		}
 		results := make([]*probeOutcome, len(todo))
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
+		// A pool of worker-slot indices rather than a plain semaphore:
+		// acquiring a slot bounds parallelism exactly as before, and the
+		// slot number doubles as the probe's rendering lane so concurrent
+		// probes draw side by side on a trace timeline.
+		lanes := make(chan int, workers)
+		for l := 0; l < workers; l++ {
+			lanes <- l
+		}
 		for i := range todo {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i] = p.execute(todo[i])
+				lane := <-lanes
+				defer func() { lanes <- lane }()
+				results[i] = p.execute(todo[i], lane)
 			}(i)
 		}
 		wg.Wait()
@@ -107,14 +117,37 @@ func (p *prober) probeBatch(idxs []int) []*probeOutcome {
 	return outs
 }
 
-// execute runs the place-and-route oracle for one rectangle.
-func (p *prober) execute(r fabric.Rect) *probeOutcome {
+// execute runs the place-and-route oracle for one rectangle. lane is
+// the worker slot executing the probe; concurrent probes of one batch
+// record on adjacent lanes above the search's own.
+func (p *prober) execute(r fabric.Rect, lane int) *probeOutcome {
+	p.oracle.Add(1)
+	sp := obs.StartChild(p.s.Obs, p.s.Span, "oracle.probe",
+		obs.Int("w", r.X1-r.X0+1), obs.Int("h", r.Y1-r.Y0+1))
+	if lane > 0 {
+		sp.WithLane(sp.LaneVal() + lane)
+	}
+	psp := sp.Child("place.detail")
 	pl, err := place.Place(p.dev, p.m, p.rep, r, p.cfg.Place)
+	psp.End()
 	if err != nil {
+		sp.Set(obs.String("verdict", "place-fail"))
+		sp.End()
 		return &probeOutcome{err: err}
 	}
+	rsp := sp.Child("route.probe")
 	rr := route.Route(pl, p.cfg.Route)
+	rsp.End()
+	sp.Set(obs.String("verdict", routeVerdict(rr.Feasible)))
+	sp.End()
 	return &probeOutcome{placeOK: true, feasible: rr.Feasible, pl: pl, rr: rr}
+}
+
+func routeVerdict(feasible bool) string {
+	if feasible {
+		return "feasible"
+	}
+	return "route-fail"
 }
 
 // result assembles the SearchResult for a grid index whose rectangle is

@@ -1,9 +1,12 @@
 package stitch
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+
+	"macroflow/internal/obs"
 )
 
 // chainSeedStride separates the rng streams of the chains. Chain 0 uses
@@ -38,6 +41,10 @@ type chain struct {
 	windowStart float64
 	stopped     bool
 
+	// every is the validated cost-trace sampling interval
+	// (Config.TraceEvery after defaulting).
+	every int
+
 	trace     []CostSample
 	exchanges int
 }
@@ -61,7 +68,7 @@ func (c *chain) runSegment(n int, progress func(chain, iter int, cost float64)) 
 		it := c.it
 		a.tryMove(c.temp)
 		c.temp *= c.cooling
-		if it%256 == 0 {
+		if it%c.every == 0 {
 			c.trace = append(c.trace, CostSample{Iter: it, Cost: a.cost})
 			if progress != nil {
 				progress(c.idx, it, a.cost)
@@ -111,11 +118,22 @@ func (c *chain) finish() float64 {
 // states under the standard parallel-tempering Metropolis criterion,
 // driven by a dedicated rng — so the result depends only on (Seed,
 // Chains), never on GOMAXPROCS or goroutine scheduling.
+// chainLaneBase offsets chain rendering lanes well above the block
+// implementation worker lanes, so the two phases never share a lane on
+// a trace timeline.
+const chainLaneBase = 1000
+
 func runChains(p *Problem, pr *prep, cfg Config) *Result {
 	k := cfg.Chains
 	if k < 1 {
 		k = 1
 	}
+	if cfg.TraceEvery < 1 {
+		cfg.TraceEvery = 256 // Run validates; direct callers get the default
+	}
+	rec := cfg.Obs
+	runSp := obs.StartChild(rec, cfg.Span, "stitch.chains",
+		obs.Int("chains", k), obs.Int("iterations", cfg.Iterations))
 	perChain := cfg.Iterations / k
 	if perChain < 1 {
 		perChain = 1
@@ -137,6 +155,7 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 	}
 
 	chains := make([]*chain, k)
+	chainSpans := make([]*obs.Span, k)
 	for ci := range chains {
 		a := newAnnealer(p, pr, cfg, cfg.Seed+11+chainSeedStride*int64(ci))
 		if ci == 0 {
@@ -179,12 +198,19 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 			stopWindow:  cfg.StopWindow,
 			stopFrac:    stopFrac,
 			windowStart: a.cost,
+			every:       cfg.TraceEvery,
 		}
+		rec.LaneLabel(chainLaneBase+ci, fmt.Sprintf("stitch chain %d", ci))
+		chainSpans[ci] = runSp.Child("stitch.chain",
+			obs.Int("chain", ci), obs.Int("budget", budgets[ci]),
+			obs.Float("t0", temp)).WithLane(chainLaneBase + ci)
 	}
 
 	exchanges := 0
 	if k == 1 {
+		seg := chainSpans[0].Child("stitch.segment")
 		chains[0].runSegment(perChain, cfg.Progress)
+		seg.End()
 	} else {
 		// Fixed replica-exchange schedule: ExchangeRounds segments with
 		// a barrier and an exchange sweep after each but the last.
@@ -203,10 +229,14 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 					n = c.budget // budget-bounded; drains the remainder
 				}
 				wg.Add(1)
-				go func(c *chain, n int) {
+				// Segment spans are per chain per round — barrier
+				// granularity, so the SA hot loop stays recording-free.
+				go func(c *chain, seg *obs.Span, n int) {
 					defer wg.Done()
 					c.runSegment(n, nil)
-				}(c, n)
+					seg.Set(obs.Float("cost", c.a.cost))
+					seg.End()
+				}(c, chainSpans[c.idx].Child("stitch.segment", obs.Int("round", r)), n)
 			}
 			wg.Wait()
 			if cfg.Progress != nil {
@@ -219,8 +249,11 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 			}
 			// Exchange sweep over adjacent ladder pairs, alternating
 			// parity per round so every neighbour pair participates.
+			xsp := runSp.Child("stitch.exchange", obs.Int("round", r))
+			attempts, accepted := 0, 0
 			for lo := r % 2; lo+1 < k; lo += 2 {
 				c1, c2 := chains[lo], chains[lo+1]
+				attempts++
 				// Metropolis swap: always when the hotter chain holds
 				// the better state, else with ladder-scaled probability.
 				d := (1/c1.temp - 1/c2.temp) * (c1.a.cost - c2.a.cost)
@@ -229,8 +262,13 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 					c1.exchanges++
 					c2.exchanges++
 					exchanges++
+					accepted++
 				}
 			}
+			rec.Add("stitch.exchange_attempts", int64(attempts))
+			rec.Add("stitch.exchanges", int64(accepted))
+			xsp.Set(obs.Int("attempts", attempts), obs.Int("accepted", accepted))
+			xsp.End()
 		}
 	}
 
@@ -250,7 +288,28 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 		}
 		finals[best] = chains[best].finish()
 	}
-	return buildResult(chains, best, finals, exchanges)
+	var moves, accepts, illegal int64
+	for ci, c := range chains {
+		moves += int64(c.a.moves)
+		accepts += int64(c.a.accepts)
+		illegal += int64(c.a.illegal)
+		rec.Add(fmt.Sprintf("stitch.chain.%d.exchanges", ci), int64(c.exchanges))
+		chainSpans[ci].Set(obs.Int("moves", c.a.moves),
+			obs.Int("accepts", c.a.accepts), obs.Int("exchanges", c.exchanges),
+			obs.Float("cost", finals[ci]))
+		chainSpans[ci].End()
+	}
+	rec.Add("stitch.moves", moves)
+	rec.Add("stitch.accepts", accepts)
+	rec.Add("stitch.illegal_moves", illegal)
+	if moves > 0 {
+		rec.SetGauge("stitch.accept_rate", float64(accepts)/float64(moves))
+	}
+	res := buildResult(chains, best, finals, exchanges)
+	res.TraceEvery = cfg.TraceEvery
+	runSp.Set(obs.Int("winner", best), obs.Float("final_cost", res.FinalCost))
+	runSp.End()
+	return res
 }
 
 // cloneStateFrom copies src's placement state (same problem) into a.

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"macroflow/internal/fabric"
+	"macroflow/internal/obs"
 	"macroflow/internal/place"
 )
 
@@ -141,15 +142,28 @@ type Config struct {
 	// ExchangeRounds is the number of replica-exchange barriers spread
 	// evenly over the per-chain budget (default 16).
 	ExchangeRounds int
+	// TraceEvery is the cost-trace sampling interval in iterations;
+	// values < 1 select the default of 256. It paces the per-chain
+	// Trace/CostTrace samples and the serial chain's Progress callbacks
+	// (multi-chain Progress fires at exchange barriers regardless).
+	TraceEvery int
 	// Progress, when non-nil, receives (chain, iteration, cost)
-	// samples: every 256 iterations from the serial chain, and at every
-	// exchange barrier per chain for multi-chain runs. It is always
-	// invoked from the calling goroutine, never concurrently.
+	// samples: every TraceEvery iterations from the serial chain, and
+	// at every exchange barrier per chain for multi-chain runs. It is
+	// always invoked from the calling goroutine, never concurrently.
 	Progress func(chain, iter int, cost float64)
 	// CheckIncremental is a debug mode that periodically cross-checks
 	// the incremental cost state against a full recomputation and
 	// panics on drift. Expensive; for tests.
 	CheckIncremental bool
+	// Obs, when non-nil, records chain/segment/exchange spans and
+	// counters (stitch.moves, stitch.accepts, stitch.exchanges, ...).
+	// Recording happens at barrier granularity — never inside the SA
+	// hot loop — and never feeds the seeded RNG, so results are
+	// bit-identical with and without a recorder.
+	Obs *obs.Recorder
+	// Span is the parent span the run's spans nest under (nil = root).
+	Span *obs.Span
 }
 
 // DefaultConfig returns the calibrated annealer settings.
@@ -181,10 +195,13 @@ type Result struct {
 	IllegalMoves int
 	// Iterations actually executed, summed over all chains.
 	Iterations int
-	// CostTrace samples (iteration, cost) every 256 iterations of the
-	// winning chain; the final (iteration, cost) point is always
+	// CostTrace samples (iteration, cost) every TraceEvery iterations
+	// of the winning chain; the final (iteration, cost) point is always
 	// appended even when the run ends off the sampling grid.
 	CostTrace []CostSample
+	// TraceEvery echoes the validated sampling interval the trace was
+	// recorded at, so consumers need no magic constant.
+	TraceEvery int
 	// FreeTiles is the number of unoccupied CLB tiles after stitching.
 	FreeTiles int
 	// LargestFreeRect is the area of the biggest rectangle of free CLB
@@ -214,7 +231,7 @@ type ChainStats struct {
 	Exchanges int
 	// FinalCost is the chain's final wirelength cost (no penalties).
 	FinalCost float64
-	// Trace samples the chain's cost curve every 256 iterations.
+	// Trace samples the chain's cost curve every TraceEvery iterations.
 	Trace []CostSample
 }
 
@@ -360,8 +377,11 @@ func Run(p *Problem, cfg Config) *Result {
 	if cfg.ExchangeRounds <= 0 {
 		cfg.ExchangeRounds = 16
 	}
+	if cfg.TraceEvery < 1 {
+		cfg.TraceEvery = 256
+	}
 	if len(p.Instances) == 0 {
-		return &Result{} // nothing to place
+		return &Result{TraceEvery: cfg.TraceEvery} // nothing to place
 	}
 	return runChains(p, newPrep(p), cfg)
 }

@@ -1,0 +1,22 @@
+package macroflow
+
+import "macroflow/internal/obs"
+
+// Recorder is the flow-wide observability collector: hierarchical spans
+// (flow → block implement → oracle probe), counters, gauges and
+// histograms. Attach one via ImplementOptions.Obs and StitchOptions.Obs
+// (typically the same recorder for both phases), then export it with
+// WriteText (human per-phase table), WriteJSONL (machine event log) or
+// WriteChromeTrace/WriteFile (chrome://tracing / Perfetto timeline).
+//
+// A nil *Recorder disables all recording at negligible cost (gated ≤1%
+// by BenchmarkImplementNoObs vs BenchmarkImplementObsNil), and
+// recording never feeds the seeded RNG paths, so results are
+// bit-identical with and without a recorder.
+type Recorder = obs.Recorder
+
+// Span is one hierarchical trace span produced by a Recorder.
+type Span = obs.Span
+
+// NewRecorder returns an empty observability recorder.
+func NewRecorder() *Recorder { return obs.New() }

@@ -1,8 +1,11 @@
 package macroflow
 
 import (
+	"log"
 	"runtime"
+	"sync"
 
+	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
 	"macroflow/internal/stitch"
 )
@@ -26,18 +29,38 @@ type StitchOptions struct {
 	// reached, making Iterations a convergence-speed measurement. With
 	// chains the plateau detection applies per chain.
 	AdaptiveStop bool
+	// TraceEvery is the sampling interval, in iterations, of the
+	// StitchReport cost traces (Trace and per-chain Chains[i].Trace).
+	// Values < 1 select the validated default of 256; the interval
+	// actually used is echoed in StitchReport.TraceEvery, so IterToReach
+	// consumers are never tied to a magic constant. The serial chain's
+	// Progress callbacks fire on the same grid.
+	TraceEvery int
 	// Progress, when non-nil, receives (chain, iteration, cost)
-	// samples: every 256 iterations from a serial run, and at every
-	// exchange barrier per chain from a multi-chain run. It is always
-	// invoked from the calling goroutine.
+	// samples: every TraceEvery iterations from a serial run, and at
+	// every exchange barrier per chain from a multi-chain run. It is
+	// always invoked from the calling goroutine.
 	Progress func(chain, iter int, cost float64)
+	// Obs, when non-nil, records stitching spans and metrics
+	// (stitch.chains/chain/segment/exchange spans, stitch.moves,
+	// stitch.accept_rate, per-chain exchange counters). Nil disables
+	// all recording. Recording never affects results.
+	Obs *Recorder
 }
 
 // merged overlays the deprecated flat aliases onto the structured
-// options; explicitly set structured fields win.
+// options; explicitly set structured fields win. A deprecated alias
+// that conflicts with its structured counterpart logs a one-shot
+// warning and records an options.alias_conflict event.
 func (o StitchOptions) merged(seed int64, iterations int, adaptiveStop bool) StitchOptions {
+	if o.Seed != 0 && seed != 0 && o.Seed != seed {
+		warnAliasConflict(o.Obs, "Seed", "Stitch.Seed")
+	}
 	if o.Seed == 0 {
 		o.Seed = seed
+	}
+	if o.Iterations != 0 && iterations != 0 && o.Iterations != iterations {
+		warnAliasConflict(o.Obs, "StitchIterations", "Stitch.Iterations")
 	}
 	if o.Iterations == 0 {
 		o.Iterations = iterations
@@ -46,6 +69,23 @@ func (o StitchOptions) merged(seed int64, iterations int, adaptiveStop bool) Sti
 		o.AdaptiveStop = true
 	}
 	return o
+}
+
+// aliasWarned dedupes the one-shot deprecated-alias log lines (one per
+// conflicting field per process; the obs counter and event fire every
+// time a conflict is resolved).
+var aliasWarned sync.Map
+
+// warnAliasConflict reports that a deprecated flat option field was set
+// alongside its structured counterpart with a different value.
+func warnAliasConflict(rec *Recorder, deprecated, structured string) {
+	rec.Add("options.alias_conflict", 1)
+	rec.Event("options.alias_conflict",
+		obs.String("deprecated", deprecated), obs.String("structured", structured))
+	if _, seen := aliasWarned.LoadOrStore(deprecated, true); !seen {
+		log.Printf("macroflow: deprecated option %s conflicts with %s; the structured field wins — set only one",
+			deprecated, structured)
+	}
 }
 
 // SearchChoice selects a per-call minimal-CF search strategy override.
@@ -80,13 +120,26 @@ type ImplementOptions struct {
 	// ProbeWorkers overrides the flow's speculative probe parallelism
 	// for this call (0 keeps the flow's setting).
 	ProbeWorkers int
+	// Obs, when non-nil, records block-implementation spans and metrics
+	// (flow/implement.block/search.mincf/oracle.probe spans,
+	// mincf.oracle_runs, implcache and blockcache counters). Nil
+	// disables all recording. Recording never affects results.
+	Obs *Recorder
 }
 
 // merged overlays the deprecated flat aliases onto the structured
-// options.
+// options. A deprecated alias that conflicts with its structured
+// counterpart logs a one-shot warning and records an
+// options.alias_conflict event.
 func (o ImplementOptions) merged(workers int, cache *BlockCache) ImplementOptions {
+	if o.Workers != 0 && workers != 0 && o.Workers != workers {
+		warnAliasConflict(o.Obs, "Workers", "Implement.Workers")
+	}
 	if o.Workers == 0 {
 		o.Workers = workers
+	}
+	if o.Cache != nil && cache != nil && o.Cache != cache {
+		warnAliasConflict(o.Obs, "Cache", "Implement.Cache")
 	}
 	if o.Cache == nil {
 		o.Cache = cache
@@ -107,6 +160,7 @@ func (f *Flow) searchFor(im ImplementOptions) pblock.SearchConfig {
 	if im.ProbeWorkers > 0 {
 		s.Workers = im.ProbeWorkers
 	}
+	s.Obs = im.Obs
 	return s
 }
 
@@ -138,14 +192,19 @@ func stitchConfig(o StitchOptions) stitch.Config {
 	if o.AdaptiveStop {
 		scfg.StopWindow = scfg.Iterations / 16
 	}
+	scfg.TraceEvery = o.TraceEvery
 	scfg.Progress = o.Progress
+	scfg.Obs = o.Obs
 	return scfg
 }
 
 // stitchDesign runs the annealer on a prepared problem and assembles
 // the public report — the one stitching path behind RunCNV and Compile.
-func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions) StitchReport {
-	sres := stitch.Run(prob, stitchConfig(o))
+// parent, when non-nil, is the flow span the stitching spans nest under.
+func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions, parent *Span) StitchReport {
+	scfg := stitchConfig(o)
+	scfg.Span = parent
+	sres := stitch.Run(prob, scfg)
 	rep := StitchReport{
 		Placed:          sres.Placed,
 		Unplaced:        sres.Unplaced,
@@ -156,6 +215,7 @@ func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions) StitchReport 
 		Exchanges:       sres.Exchanges,
 		FreeTiles:       sres.FreeTiles,
 		LargestFreeRect: sres.LargestFreeRect,
+		TraceEvery:      sres.TraceEvery,
 		Map:             renderStitch(f, prob, sres),
 	}
 	for _, p := range sres.CostTrace {

@@ -165,3 +165,116 @@ func TestStitchProgressCallback(t *testing.T) {
 		t.Errorf("progress must cover both chains, saw %v", seen)
 	}
 }
+
+// TestAliasConflictCounted: setting a deprecated flat field alongside a
+// different structured value records one options.alias_conflict count
+// per conflicting field (and the structured field still wins).
+func TestAliasConflictCounted(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	rec := NewRecorder()
+	res, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+		Seed: 99, StitchIterations: 400,
+		Stitch:    StitchOptions{Seed: 3, Iterations: 8000, Obs: rec},
+		Implement: ImplementOptions{Obs: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.CounterValue("options.alias_conflict"); got != 2 {
+		t.Errorf("alias_conflict counter = %d, want 2 (Seed and StitchIterations)", got)
+	}
+	plain, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Stitch: StitchOptions{Seed: 3, Iterations: 8000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stitch, plain.Stitch) {
+		t.Error("structured fields must win over conflicting aliases")
+	}
+	// Agreement is not a conflict.
+	rec2 := NewRecorder()
+	if _, err := f.Compile(smallDesign(120), MinSweepCF(), CompileOptions{
+		Seed:   3,
+		Stitch: StitchOptions{Seed: 3, Iterations: 8000, Obs: rec2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.CounterValue("options.alias_conflict"); got != 0 {
+		t.Errorf("matching alias counted as conflict: %d", got)
+	}
+}
+
+// TestTraceEveryOption: the trace sampling interval is configurable,
+// echoed in the report, and defaults to 256.
+func TestTraceEveryOption(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	def, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Stitch: StitchOptions{Seed: 3, Iterations: 8000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Stitch.TraceEvery != 256 {
+		t.Errorf("default TraceEvery = %d, want 256", def.Stitch.TraceEvery)
+	}
+	fine, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Stitch: StitchOptions{Seed: 3, Iterations: 8000, TraceEvery: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Stitch.TraceEvery != 100 {
+		t.Errorf("TraceEvery = %d, want 100", fine.Stitch.TraceEvery)
+	}
+	if len(fine.Stitch.Trace) <= len(def.Stitch.Trace) {
+		t.Errorf("finer sampling must yield more trace points: %d vs %d",
+			len(fine.Stitch.Trace), len(def.Stitch.Trace))
+	}
+	for _, p := range fine.Stitch.Trace[:len(fine.Stitch.Trace)-1] {
+		if p.Iter%100 != 0 {
+			t.Fatalf("trace point at iter %d is off the TraceEvery grid", p.Iter)
+		}
+	}
+}
+
+// TestRecorderDoesNotPerturbResults: attaching a recorder must leave
+// every numeric output bit-identical — observability observes, it never
+// feeds back. Also checks the expected span names show up.
+func TestRecorderDoesNotPerturbResults(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	opts := func(rec *Recorder) CompileOptions {
+		return CompileOptions{
+			Stitch:    StitchOptions{Seed: 5, Iterations: 8000, Chains: 2, Obs: rec},
+			Implement: ImplementOptions{Obs: rec},
+		}
+	}
+	plain, err := f.Compile(smallDesign(120), MinSweepCF(), opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	traced, err := f.Compile(smallDesign(120), MinSweepCF(), opts(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Error("recorder changed the compile result")
+	}
+	names := map[string]bool{}
+	for _, s := range rec.Spans() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"flow.compile", "implement.block", "synth.elaborate",
+		"place.quick", "search.mincf", "oracle.probe", "stitch.chains", "stitch.chain"} {
+		if !names[want] {
+			t.Errorf("span %q missing (got %v)", want, names)
+		}
+	}
+	if rec.CounterValue("mincf.oracle_runs") == 0 {
+		t.Error("mincf.oracle_runs not counted")
+	}
+	if rec.CounterValue("stitch.moves") == 0 {
+		t.Error("stitch.moves not counted")
+	}
+}

@@ -26,6 +26,14 @@ if [ "${pattern}" = "stitch" ]; then
 	benchtime="${BENCHTIME:-20x}"
 fi
 
+# Shorthand for the observability overhead trio: the uninstrumented
+# oracle baseline, the instrumented path with a nil recorder (the pair
+# scripts/ci.sh gates at <=1%), and the live-recorder reference.
+if [ "${pattern}" = "obs" ]; then
+	pattern='^(BenchmarkImplementNoObs|BenchmarkImplementObsNil|BenchmarkImplementObsLive)$'
+	benchtime="${BENCHTIME:-5x}"
+fi
+
 n=0
 while [ -e "BENCH_${n}.json" ]; do
 	n=$((n + 1))

@@ -25,4 +25,34 @@ GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToRe
 echo "==> go test -bench . -benchtime 1x (smoke)" >&2
 go test -run '^$' -bench . -benchtime 1x .
 
+# Observability overhead gate: the instrumented implement path with a
+# nil recorder must stay within OBS_GATE_TOL (default 1%) of the
+# uninstrumented baseline. Each round runs both benchmarks back-to-back
+# in one process so load drift hits the pair equally, and the min ns/op
+# across rounds is compared — the min discards scheduler and GC noise,
+# which on a shared box dwarfs the few nil-checks being measured.
+# Raise OBS_GATE_ROUNDS or OBS_GATE_BENCHTIME on noisy boxes.
+echo "==> nil-recorder overhead gate" >&2
+go test -c -o /tmp/macroflow.obsgate.test .
+obs_bench=""
+round=0
+while [ "${round}" -lt "${OBS_GATE_ROUNDS:-8}" ]; do
+	obs_bench="${obs_bench}
+$(/tmp/macroflow.obsgate.test -test.run '^$' \
+		-test.bench '^(BenchmarkImplementNoObs|BenchmarkImplementObsNil)$' \
+		-test.benchtime "${OBS_GATE_BENCHTIME:-8x}")"
+	round=$((round + 1))
+done
+rm -f /tmp/macroflow.obsgate.test
+echo "${obs_bench}" | grep '^Benchmark' >&2
+echo "${obs_bench}" | awk -v tol="${OBS_GATE_TOL:-0.01}" '
+	/^BenchmarkImplementNoObs/  { if (base == 0 || $3 < base) base = $3 }
+	/^BenchmarkImplementObsNil/ { if (inst == 0 || $3 < inst) inst = $3 }
+	END {
+		if (base == 0 || inst == 0) { print "obs gate: benchmarks missing" > "/dev/stderr"; exit 1 }
+		ratio = inst / base
+		printf "obs gate: nil-recorder min %.0f ns/op vs baseline min %.0f ns/op (ratio %.4f, tolerance %.2f)\n", inst, base, ratio, 1 + tol > "/dev/stderr"
+		if (ratio > 1 + tol) { print "obs gate: nil-recorder overhead exceeds tolerance" > "/dev/stderr"; exit 1 }
+	}'
+
 echo "ci: all gates passed" >&2
