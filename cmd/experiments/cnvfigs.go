@@ -29,11 +29,20 @@ func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResu
 			Iterations: c.stitchIters,
 			Chains:     c.stitchChains,
 			Obs:        c.rec,
+			Check:      c.check,
 		},
-		Implement: macroflow.ImplementOptions{Obs: c.rec},
+		Implement: macroflow.ImplementOptions{Obs: c.rec, Check: c.check},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// An audited run that found violations is a broken flow, not a
+	// result: print the full report and abort.
+	if res.Verify != nil {
+		log.Print(res.Verify.String())
+		if err := res.Verify.Err(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	return res
 }

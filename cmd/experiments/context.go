@@ -27,6 +27,7 @@ type ctx struct {
 	stitchIters  int
 	stitchChains int
 	cacheDir     string
+	check        macroflow.CheckLevel
 
 	// rec collects spans and metrics when -trace/-metrics is set (nil
 	// otherwise — recording fully disabled). cur is the span of the

@@ -46,7 +46,13 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file — load it at chrome://tracing or https://ui.perfetto.dev")
 	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
+	check := flag.String("check", "off", "oracle cross-check level for the cnv flow runs: off, sampled or full (full re-probes every minimal-CF claim and recounts every placement — slow, but the run is fully audited)")
 	flag.Parse()
+
+	checkLevel, err := macroflow.ParseCheckLevel(*check)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	c := &ctx{
 		seed:         *seed,
@@ -56,6 +62,7 @@ func main() {
 		stitchIters:  *stitchIters,
 		stitchChains: *stitchChains,
 		cacheDir:     *cacheDir,
+		check:        checkLevel,
 	}
 	// The recorder is only allocated when asked for: a nil *Recorder
 	// disables all recording, keeping the default outputs byte-identical.

@@ -119,6 +119,9 @@ type CNVResult struct {
 	Cache CacheStats
 	// Stitch is the final design assembly.
 	Stitch StitchReport
+	// Verify is the oracle cross-check report — nil unless a CheckLevel
+	// was requested on Implement.Check or Stitch.Check.
+	Verify *VerifyReport
 }
 
 // CNVOptions tunes the cnvW1A1 flow run.
@@ -235,13 +238,18 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	rec.Add("flow.tool_runs", int64(res.TotalToolRuns))
 	root.Set(obs.Int("tool_runs", res.TotalToolRuns),
 		obs.Int("cache_hits", res.CacheHits))
+	so := opts.stitchOptions()
+	if im.Check != CheckOff || so.Check != CheckOff {
+		res.Verify = &VerifyReport{}
+	}
+	f.verifyBlocks(im.Check, mode, search, impls, res.Blocks, hits, res.Verify, rec, root)
 	if opts.SkipStitch {
 		root.End()
 		return res, nil
 	}
 
 	prob := f.buildStitchProblem(design, impls)
-	res.Stitch = f.stitchDesign(prob, opts.stitchOptions(), root)
+	res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
 	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
 		obs.Int("placed", res.Stitch.Placed),
 		obs.Int("unplaced", res.Stitch.Unplaced))

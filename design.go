@@ -218,6 +218,9 @@ type CompileResult struct {
 	Cache CacheStats
 	// Stitch is the assembled design (zero value when SkipStitch).
 	Stitch StitchReport
+	// Verify is the oracle cross-check report — nil unless a CheckLevel
+	// was requested on Implement.Check or Stitch.Check.
+	Verify *VerifyReport
 }
 
 // Compile implements every unique block of the design under the CF mode
@@ -280,6 +283,11 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	rec.Add("flow.tool_runs", int64(res.ToolRuns))
 	root.Set(obs.Int("tool_runs", res.ToolRuns),
 		obs.Int("cache_hits", res.CacheHits))
+	so := opts.stitchOptions()
+	if im.Check != CheckOff || so.Check != CheckOff {
+		res.Verify = &VerifyReport{}
+	}
+	f.verifyBlocks(im.Check, mode, search, impls, res.Blocks, hits, res.Verify, rec, root)
 	if opts.SkipStitch {
 		root.End()
 		return res, nil
@@ -295,7 +303,7 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	for _, n := range d.nets {
 		prob.Nets = append(prob.Nets, stitch.Net{From: n.from, To: n.to, Weight: float64(n.width) / 16})
 	}
-	res.Stitch = f.stitchDesign(prob, opts.stitchOptions(), root)
+	res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
 	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
 		obs.Int("placed", res.Stitch.Placed),
 		obs.Int("unplaced", res.Stitch.Unplaced))

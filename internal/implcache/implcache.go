@@ -44,10 +44,14 @@ func (s Stats) add(o Stats) Stats {
 	}
 }
 
-// statsFile is the lifetime-counter sidecar at the cache root. Record
+// StatsFile is the lifetime-counter sidecar at the cache root. Record
 // shards live in two-character subdirectories, so the name can never
-// collide with a record.
-const statsFile = "stats.json"
+// collide with a record. Exported so auditing tools (internal/oracle's
+// fault injector walks the store) can distinguish the sidecar from
+// records without duplicating the name.
+const StatsFile = "stats.json"
+
+const statsFile = StatsFile
 
 // statsFlushEvery bounds how many counted events may pass between
 // automatic flushes of the lifetime counters, so a crashed process

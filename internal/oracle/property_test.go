@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"macroflow/internal/fabric"
+	"macroflow/internal/pblock"
+	"macroflow/internal/place"
+	"macroflow/internal/rtlgen"
+	"macroflow/internal/stitch"
+	"macroflow/internal/synth"
+)
+
+// stitchCase is one randomly drawn property-test input: a generated
+// block spec plus a stitched-design shape.
+type stitchCase struct {
+	LUTs      int
+	Fanin     int
+	Seed      int64
+	Instances int
+	SASeed    int64
+}
+
+// Generate draws a small but non-trivial case; sizes are clamped so a
+// single quick iteration stays fast while still exercising multi-column
+// blocks and multi-instance stitching.
+func (stitchCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(stitchCase{
+		LUTs:      60 + r.Intn(240),
+		Fanin:     2 + r.Intn(4),
+		Seed:      r.Int63(),
+		Instances: 2 + r.Intn(7),
+		SASeed:    r.Int63(),
+	})
+}
+
+// TestPropertyPlacerOutputAccepted: for random specs, the oracle accepts
+// every placement the detail placer + stitcher emit, and rejects any
+// single-block perturbation that lands one block on top of another.
+func TestPropertyPlacerOutputAccepted(t *testing.T) {
+	dev := fabric.XC7Z020()
+	prop := func(c stitchCase) bool {
+		spec := rtlgen.Spec{Name: "prop", Components: []rtlgen.Component{
+			rtlgen.RandomLogic{LUTs: c.LUTs, Fanin: c.Fanin, Depth: 3, Seed: c.Seed},
+		}}
+		m, err := synth.Elaborate(spec)
+		if err != nil {
+			t.Logf("elaborate: %v", err)
+			return false
+		}
+		if _, err := synth.Optimize(m); err != nil {
+			t.Logf("optimize: %v", err)
+			return false
+		}
+		shape := place.QuickPlace(m)
+		sr, err := pblock.MinCF(dev, m, shape, testSearch(), pblock.DefaultConfig())
+		if err != nil {
+			t.Logf("minCF: %v", err)
+			return false
+		}
+
+		// The detail placer's own implementation must satisfy the
+		// brute-force legality recount.
+		var ir Report
+		CheckImplementation(dev, sr.Impl, &ir)
+		if !ir.Ok() {
+			t.Logf("case %+v: placer output rejected:\n%s", c, ir.String())
+			return false
+		}
+
+		prob := &stitch.Problem{Dev: dev}
+		prob.Blocks = append(prob.Blocks, stitch.NewBlock("b", sr.Impl.Placement))
+		for i := 0; i < c.Instances; i++ {
+			prob.Instances = append(prob.Instances, stitch.Instance{Name: "i", Block: 0})
+			if i > 0 {
+				prob.Nets = append(prob.Nets, stitch.Net{From: i - 1, To: i, Weight: 1})
+			}
+		}
+		res := stitch.Run(prob, stitch.Config{Seed: c.SASeed, Iterations: 1500})
+
+		var vr Report
+		CheckPlacement(prob, res.Origins, &vr)
+		if !vr.Ok() {
+			t.Logf("case %+v: stitcher output rejected:\n%s", c, vr.String())
+			return false
+		}
+
+		// Any single-block overlap perturbation must be rejected.
+		ch := NewChaos(c.SASeed)
+		origins := append([]stitch.Origin(nil), res.Origins...)
+		if _, ok := ch.OverlapPlacement(prob, origins); ok {
+			var br Report
+			CheckPlacement(prob, origins, &br)
+			if br.Ok() {
+				t.Logf("case %+v: overlap perturbation accepted", c)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(42))}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

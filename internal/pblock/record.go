@@ -75,6 +75,12 @@ func RecordSearch(sr SearchResult, err error) (ImplRecord, bool) {
 // no longer matches the module or device falls back to ok=false and the
 // caller re-runs the search. Negative verdicts rebuild without any
 // placement work.
+//
+// The audit deliberately covers the placement, not the stored CF: a
+// corrupted CF on an otherwise-valid record rebuilds cleanly and is only
+// caught by internal/oracle's cache-equivalence checker (CheckLevel on
+// the flow options), which re-implements the block from scratch and
+// compares byte-for-byte.
 func (r ImplRecord) Rebuild(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s SearchConfig, cfg Config) (SearchResult, error, bool) {
 	if r.NoFit {
 		return SearchResult{}, fmt.Errorf("pblock: cached verdict: %w", ErrNoFit), true

@@ -13,6 +13,11 @@ import (
 // one-control-set-per-CLB rule, and BRAM/DSP site alignment. It is the
 // placer's independent auditor — used by the test suite and available to
 // callers that construct placements by other means.
+//
+// internal/oracle re-implements these rules a second time from first
+// principles (CheckImplementation), deliberately sharing no code with
+// this package; a legality rule added here must be mirrored there or the
+// differential audit loses it.
 func Verify(dev *fabric.Device, pl *Placement) error {
 	m := pl.Module
 	if len(pl.CellAt) != len(m.Cells) {

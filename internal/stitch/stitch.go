@@ -184,7 +184,9 @@ type Result struct {
 	Unplaced int
 	// InitialCost is the total cost after the greedy construction.
 	InitialCost float64
-	// FinalCost is the wirelength cost of placed nets (no penalties).
+	// FinalCost is the wirelength cost of placed nets (no penalties),
+	// recomputed from scratch in net order when the run finishes — the
+	// contract internal/oracle's CheckCost verifies to within 1e-9.
 	FinalCost float64
 	// ConvergenceIter is the first iteration at which the annealer had
 	// achieved 98% of its total cost improvement — the paper's

@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"testing"
+
+	"macroflow/internal/rtlgen"
+)
+
+// clampFuzz maps an arbitrary fuzzed int into [lo, hi] without losing
+// the fuzzer's ability to hit the boundaries.
+func clampFuzz(v, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	span := hi - lo + 1
+	m := v % span
+	if m < 0 {
+		m += span
+	}
+	return lo + m
+}
+
+// FuzzElaborate drives the full rtlgen emit → synth pipeline with
+// arbitrary component parameters: whatever the generators can be asked
+// to produce, Elaborate and Optimize must either return an error or a
+// module that passes netlist validation — never panic. Parameters are
+// folded into the generators' documented ranges (plus the zero/negative
+// boundary, which the pipeline must also survive).
+func FuzzElaborate(f *testing.F) {
+	f.Add(4, 8, 2, 2, 8, 32, 8, 2, 120, 3, int64(7), uint8(0x1f))
+	f.Add(1, 1, 1, 1, 1, 16, 4, 1, 1, 1, int64(1), uint8(0x01))
+	f.Add(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, int64(0), uint8(0xff))
+	f.Add(48, 64, 24, 24, 64, 1024, 48, 12, 800, 6, int64(99), uint8(0x2a))
+
+	f.Fuzz(func(t *testing.T, srCount, srLen, srCS, srFanin,
+		memWidth, memDepth, sosWidth, sosTerms,
+		luts, depth int, seed int64, pick uint8) {
+		var comps []rtlgen.Component
+		if pick&1 != 0 {
+			comps = append(comps, rtlgen.ShiftRegs{
+				Count:       clampFuzz(srCount, 0, 48),
+				Length:      clampFuzz(srLen, 0, 64),
+				ControlSets: clampFuzz(srCS, 0, 24),
+				Fanin:       clampFuzz(srFanin, 0, 24),
+				NoSRL:       pick&0x20 != 0,
+			})
+		}
+		if pick&2 != 0 {
+			comps = append(comps, rtlgen.LUTMemory{
+				Width:            clampFuzz(memWidth, 0, 64),
+				Depth:            clampFuzz(memDepth, 0, 1024),
+				ForceDistributed: pick&0x40 != 0,
+			})
+		}
+		if pick&4 != 0 {
+			comps = append(comps, rtlgen.SumOfSquares{
+				Width: clampFuzz(sosWidth, 0, 48),
+				Terms: clampFuzz(sosTerms, 0, 12),
+			})
+		}
+		if pick&8 != 0 {
+			comps = append(comps, rtlgen.LFSRBank{
+				Count:    clampFuzz(srCount, 0, 24),
+				Width:    clampFuzz(memWidth, 0, 64),
+				UseCarry: pick&0x40 != 0,
+				UseSRL:   pick&0x80 != 0,
+			})
+		}
+		if pick&16 != 0 {
+			comps = append(comps, rtlgen.RandomLogic{
+				LUTs:  clampFuzz(luts, 0, 800),
+				Fanin: clampFuzz(srFanin, 0, 8),
+				Depth: clampFuzz(depth, 0, 8),
+				Seed:  seed,
+			})
+		}
+		m, err := Elaborate(rtlgen.Spec{Name: "fuzz", Components: comps})
+		if err != nil {
+			return // rejected spec: only the no-panic guarantee applies
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Elaborate produced an invalid module: %v", err)
+		}
+		if _, err := Optimize(m); err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Optimize broke the module: %v", err)
+		}
+	})
+}

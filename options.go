@@ -46,6 +46,13 @@ type StitchOptions struct {
 	// stitch.accept_rate, per-chain exchange counters). Nil disables
 	// all recording. Recording never affects results.
 	Obs *Recorder
+	// Check cross-checks the stitched design against the brute-force
+	// oracle (internal/oracle): legality recounted tile-by-tile and the
+	// final cost recomputed from scratch. CheckOff (the zero value)
+	// disables verification; violations land in the result's Verify
+	// report and the oracle.violations counters. Verification never
+	// changes results.
+	Check CheckLevel
 }
 
 // merged overlays the deprecated flat aliases onto the structured
@@ -125,6 +132,15 @@ type ImplementOptions struct {
 	// mincf.oracle_runs, implcache and blockcache counters). Nil
 	// disables all recording. Recording never affects results.
 	Obs *Recorder
+	// Check cross-checks every implemented block against the brute-force
+	// oracle (internal/oracle): placement legality recounted from first
+	// principles, minimal-CF claims re-probed linearly, and cache-served
+	// blocks re-implemented from scratch for byte-equivalence. CheckOff
+	// (the zero value) disables verification; CheckSampled audits a
+	// deterministic sample; CheckFull audits everything. Violations land
+	// in the result's Verify report and the oracle.violations counters.
+	// Verification never changes results.
+	Check CheckLevel
 }
 
 // merged overlays the deprecated flat aliases onto the structured
@@ -201,10 +217,13 @@ func stitchConfig(o StitchOptions) stitch.Config {
 // stitchDesign runs the annealer on a prepared problem and assembles
 // the public report — the one stitching path behind RunCNV and Compile.
 // parent, when non-nil, is the flow span the stitching spans nest under.
-func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions, parent *Span) StitchReport {
+// vr, when non-nil and o.Check is on, accumulates the oracle's
+// cross-check of the stitched result.
+func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions, parent *Span, vr *VerifyReport) StitchReport {
 	scfg := stitchConfig(o)
 	scfg.Span = parent
 	sres := stitch.Run(prob, scfg)
+	verifyStitch(o.Check, prob, sres, vr, o.Obs, parent)
 	rep := StitchReport{
 		Placed:          sres.Placed,
 		Unplaced:        sres.Unplaced,

@@ -15,6 +15,33 @@ go build ./...
 echo "==> go test -race ./..." >&2
 go test -race ./...
 
+# Shuffled pass: the suite must not depend on test execution order.
+# A fixed seed keeps failures reproducible; bump it when hunting.
+echo "==> go test -shuffle=on (order independence)" >&2
+go test -shuffle="${CI_SHUFFLE_SEED:-1}" ./...
+
+# Fuzz smoke: each native fuzz target runs briefly from its seed corpus
+# (~30s total). This is a regression tripwire, not a bug hunt — longer
+# campaigns run with: go test -fuzz <Target> -fuzztime 10m <pkg>.
+echo "==> fuzz smoke (3 targets x ${CI_FUZZTIME:-10s})" >&2
+go test -run '^$' -fuzz '^FuzzTextRoundTrip$' -fuzztime "${CI_FUZZTIME:-10s}" ./internal/netlist/
+go test -run '^$' -fuzz '^FuzzElaborate$' -fuzztime "${CI_FUZZTIME:-10s}" ./internal/synth/
+go test -run '^$' -fuzz '^FuzzEstimatorRoundTrip$' -fuzztime "${CI_FUZZTIME:-10s}" .
+
+# Coverage gate: the differential-verification core (oracle, pblock,
+# stitch) must not silently lose test coverage. The floor is recorded in
+# scripts/coverage_floor.txt; raise it when coverage genuinely improves.
+echo "==> coverage gate (internal/oracle, internal/pblock, internal/stitch)" >&2
+cover_out="$(mktemp)"
+go test -coverprofile="${cover_out}" ./internal/oracle/ ./internal/pblock/ ./internal/stitch/ >/dev/null
+total="$(go tool cover -func="${cover_out}" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+rm -f "${cover_out}"
+floor="$(cat scripts/coverage_floor.txt)"
+echo "coverage gate: total ${total}% (floor ${floor}%)" >&2
+awk -v t="${total}" -v f="${floor}" 'BEGIN {
+	if (t + 0 < f + 0) { print "coverage gate: below floor" > "/dev/stderr"; exit 1 }
+}'
+
 # The multi-chain stitcher promises bit-identical results regardless of
 # core count; re-run its determinism suite under the race detector at a
 # parallelism the default run may not have exercised.
