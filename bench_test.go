@@ -36,8 +36,8 @@ var fix struct {
 	stitch20 *stitch.Problem // min-CF blocks on xc7z020
 }
 
-func fixtures(b *testing.B) {
-	b.Helper()
+func fixtures(tb testing.TB) {
+	tb.Helper()
 	fixOnce.Do(func() {
 		fix.dev = fabric.XC7Z020()
 		fix.design = cnv.CNVW1A1()
@@ -83,12 +83,12 @@ func buildStitchProblem(dev *fabric.Device, d *cnv.Design) *stitch.Problem {
 	return prob
 }
 
-func cnvModule(b *testing.B, name string) (int, place.ShapeReport) {
-	b.Helper()
+func cnvModule(tb testing.TB, name string) (int, place.ShapeReport) {
+	tb.Helper()
 	ti := fix.design.TypeIndex(name)
 	m, err := fix.design.Module(ti)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return ti, place.QuickPlace(m)
 }
@@ -242,6 +242,95 @@ func BenchmarkStitchChains(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		chained.Seed = int64(i)
 		cost = stitch.Run(fix.stitch20, chained).FinalCost
+	}
+	b.ReportMetric(cost, "finalcost")
+}
+
+// --- scaled stitcher backends ------------------------------------------
+
+// stitch10x lazily builds the 10×-cnvW1A1-shaped synthetic stitching
+// workload on the xc7z045 (1750 instances; see stitch.Synthetic) shared
+// by the analytic/hybrid backend benchmarks.
+var stitch10xOnce sync.Once
+var stitch10x *stitch.Problem
+
+func synthetic10x() *stitch.Problem {
+	stitch10xOnce.Do(func() {
+		stitch10x = stitch.Synthetic(fabric.XC7Z045(), 10, 7)
+	})
+	return stitch10x
+}
+
+// totalStitchCost is the objective the stitcher minimizes: wirelength
+// plus the per-instance unplaced penalty. Comparing backends on
+// FinalCost alone is misleading when they place different instance
+// counts.
+func totalStitchCost(r *stitch.Result) float64 {
+	return r.FinalCost + float64(r.Unplaced)*2000
+}
+
+// BenchmarkStitchAnalytic measures the pure gradient-descent backend on
+// the 10× synthetic workload — the design size where move-based search
+// stops scaling and the analytic placer is the intended seed.
+func BenchmarkStitchAnalytic(b *testing.B) {
+	p := synthetic10x()
+	cfg := stitch.DefaultConfig()
+	cfg.Backend = stitch.BackendAnalytic
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cost = totalStitchCost(stitch.Run(p, cfg))
+	}
+	b.ReportMetric(cost, "finalcost")
+}
+
+// BenchmarkStitchHybrid measures the hybrid backend on the 10× synthetic
+// workload at one third of the annealer's move budget. Before timing it
+// asserts the scaling contract — the analytic seed plus 13,333 moves
+// must land within 2% of the pure annealer's 40,000-move result
+// (aggregated over three seeds; in practice it roughly halves it).
+func BenchmarkStitchHybrid(b *testing.B) {
+	p := synthetic10x()
+	anneal := stitch.DefaultConfig()
+	anneal.Iterations = 40000
+	anneal.Chains = 4
+	hybrid := stitch.DefaultConfig()
+	hybrid.Iterations = anneal.Iterations / 3
+	hybrid.Chains = 4
+	hybrid.Backend = stitch.BackendHybrid
+	var annealCost, hybridCost float64
+	for seed := int64(0); seed < 3; seed++ {
+		anneal.Seed, hybrid.Seed = seed, seed
+		annealCost += totalStitchCost(stitch.Run(p, anneal))
+		hybridCost += totalStitchCost(stitch.Run(p, hybrid))
+	}
+	if hybridCost > 1.02*annealCost {
+		b.Errorf("hybrid at 1/3 moves cost %.0f, over 102%% of the annealer's %.0f",
+			hybridCost/3, annealCost/3)
+	}
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hybrid.Seed = int64(i)
+		cost = totalStitchCost(stitch.Run(p, hybrid))
+	}
+	b.ReportMetric(cost, "finalcost")
+}
+
+// BenchmarkStitchAnneal10x is the pure annealer on the same 10×
+// workload and full 40,000-move budget — the baseline the hybrid
+// benchmark's 1/3-budget numbers are read against.
+func BenchmarkStitchAnneal10x(b *testing.B) {
+	p := synthetic10x()
+	cfg := stitch.DefaultConfig()
+	cfg.Iterations = 40000
+	cfg.Chains = 4
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cost = totalStitchCost(stitch.Run(p, cfg))
 	}
 	b.ReportMetric(cost, "finalcost")
 }

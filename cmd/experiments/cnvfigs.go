@@ -28,6 +28,7 @@ func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResu
 			Seed:       c.seed,
 			Iterations: c.stitchIters,
 			Chains:     c.stitchChains,
+			Backend:    c.stitchBackend,
 			Obs:        c.rec,
 			Check:      c.check,
 		},
@@ -135,7 +136,7 @@ func fig13(c *ctx) {
 		re, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{
 			Stitch: macroflow.StitchOptions{
 				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
-				Obs: c.rec,
+				Backend: c.stitchBackend, Obs: c.rec,
 			},
 			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})
@@ -145,7 +146,7 @@ func fig13(c *ctx) {
 		rc, err := f45.RunCNV(macroflow.ConstantCF(1.68), macroflow.CNVOptions{
 			Stitch: macroflow.StitchOptions{
 				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
-				Obs: c.rec,
+				Backend: c.stitchBackend, Obs: c.rec,
 			},
 			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})

@@ -20,14 +20,15 @@ import (
 // ctx caches the expensive shared artifacts (dataset, cnv labels) across
 // experiments in one invocation.
 type ctx struct {
-	seed         int64
-	modules      int
-	trees        int
-	epochs       int
-	stitchIters  int
-	stitchChains int
-	cacheDir     string
-	check        macroflow.CheckLevel
+	seed          int64
+	modules       int
+	trees         int
+	epochs        int
+	stitchIters   int
+	stitchChains  int
+	stitchBackend string
+	cacheDir      string
+	check         macroflow.CheckLevel
 
 	// rec collects spans and metrics when -trace/-metrics is set (nil
 	// otherwise — recording fully disabled). cur is the span of the

@@ -42,6 +42,7 @@ func main() {
 	epochs := flag.Int("epochs", 600, "neural network epochs")
 	stitchIters := flag.Int("stitch-iters", 300000, "SA iteration budget")
 	stitchChains := flag.Int("stitch-chains", 0, "parallel-tempering chains for stitching (0/1 = serial, bit-identical to previous releases)")
+	stitchBackend := flag.String("stitch-backend", "anneal", "stitcher backend: anneal, analytic, or hybrid (analytic gradient-descent seed + annealing)")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file — load it at chrome://tracing or https://ui.perfetto.dev")
@@ -55,14 +56,15 @@ func main() {
 	}
 
 	c := &ctx{
-		seed:         *seed,
-		modules:      *modules,
-		trees:        *trees,
-		epochs:       *epochs,
-		stitchIters:  *stitchIters,
-		stitchChains: *stitchChains,
-		cacheDir:     *cacheDir,
-		check:        checkLevel,
+		seed:          *seed,
+		modules:       *modules,
+		trees:         *trees,
+		epochs:        *epochs,
+		stitchIters:   *stitchIters,
+		stitchChains:  *stitchChains,
+		stitchBackend: *stitchBackend,
+		cacheDir:      *cacheDir,
+		check:         checkLevel,
 	}
 	// The recorder is only allocated when asked for: a nil *Recorder
 	// disables all recording, keeping the default outputs byte-identical.

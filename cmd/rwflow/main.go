@@ -30,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	iters := flag.Int("stitch-iters", 200000, "SA iterations")
 	chains := flag.Int("stitch-chains", 0, "parallel-tempering chains (0/1 = serial; results depend only on -seed and this value)")
+	backend := flag.String("stitch-backend", "anneal", "stitcher backend: anneal, analytic, or hybrid (analytic gradient-descent seed + annealing)")
+	gdIters := flag.Int("stitch-gd-iters", 0, "gradient-descent iterations for -stitch-backend analytic/hybrid (0 = default 256)")
 	showMap := flag.Bool("map", false, "print the ASCII placement map")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
@@ -68,7 +70,8 @@ func main() {
 	}
 
 	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
-		Stitch:    macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains, Obs: rec},
+		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains,
+			Backend: *backend, GDIterations: *gdIters, Obs: rec},
 		Implement: macroflow.ImplementOptions{Obs: rec},
 	})
 	if err != nil {
@@ -95,9 +98,12 @@ func main() {
 	if res.FirstRunRate > 0 {
 		fmt.Printf("first-run success: %.1f%%\n", 100*res.FirstRunRate)
 	}
-	fmt.Printf("\nstitch: %d placed, %d unplaced; cost %.0f; converged at %d/%d iters; %d illegal moves\n",
-		res.Stitch.Placed, res.Stitch.Unplaced, res.Stitch.FinalCost,
+	fmt.Printf("\nstitch (%s): %d placed, %d unplaced; cost %.0f; converged at %d/%d iters; %d illegal moves\n",
+		res.Stitch.Backend, res.Stitch.Placed, res.Stitch.Unplaced, res.Stitch.FinalCost,
 		res.Stitch.ConvergenceIter, res.Stitch.Iterations, res.Stitch.IllegalMoves)
+	if res.Stitch.GDIters > 0 {
+		fmt.Printf("analytic seed: %d gradient-descent iterations\n", res.Stitch.GDIters)
+	}
 	if len(res.Stitch.Chains) > 1 {
 		fmt.Printf("chains: %d, %d accepted exchanges\n", len(res.Stitch.Chains), res.Stitch.Exchanges)
 		for _, ch := range res.Stitch.Chains {

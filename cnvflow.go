@@ -35,6 +35,12 @@ func EstimatorCF(e *Estimator) CFMode { return CFMode{kind: "estimator", estimat
 
 // StitchReport summarizes the SA stitching of the full design.
 type StitchReport struct {
+	// Backend echoes the validated stitcher backend the run used
+	// ("anneal", "analytic" or "hybrid").
+	Backend string
+	// GDIters is the analytic gradient-descent iteration count of the
+	// run (0 for the pure anneal backend).
+	GDIters         int
 	Placed          int
 	Unplaced        int
 	FinalCost       float64
@@ -180,6 +186,10 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	errs := make([]error, len(design.Types))
 
 	im := opts.implementOptions()
+	so := opts.stitchOptions()
+	if err := so.validate(); err != nil {
+		return nil, err
+	}
 	search := f.searchFor(im)
 	rec := im.Obs
 	root := rec.Start("flow.runcnv",
@@ -238,7 +248,6 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	rec.Add("flow.tool_runs", int64(res.TotalToolRuns))
 	root.Set(obs.Int("tool_runs", res.TotalToolRuns),
 		obs.Int("cache_hits", res.CacheHits))
-	so := opts.stitchOptions()
 	if im.Check != CheckOff || so.Check != CheckOff {
 		res.Verify = &VerifyReport{}
 	}

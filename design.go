@@ -236,6 +236,10 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	errs := make([]error, len(d.types))
 
 	im := opts.implementOptions()
+	so := opts.stitchOptions()
+	if err := so.validate(); err != nil {
+		return nil, err
+	}
 	search := f.searchFor(im)
 	rec := im.Obs
 	root := rec.Start("flow.compile",
@@ -283,7 +287,6 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	rec.Add("flow.tool_runs", int64(res.ToolRuns))
 	root.Set(obs.Int("tool_runs", res.ToolRuns),
 		obs.Int("cache_hits", res.CacheHits))
-	so := opts.stitchOptions()
 	if im.Check != CheckOff || so.Check != CheckOff {
 		res.Verify = &VerifyReport{}
 	}

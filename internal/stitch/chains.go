@@ -131,8 +131,13 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 	if cfg.TraceEvery < 1 {
 		cfg.TraceEvery = 256 // Run validates; direct callers get the default
 	}
+	backend := BackendAnneal
+	if cfg.Backend == BackendHybrid {
+		backend = BackendHybrid
+	}
 	rec := cfg.Obs
 	runSp := obs.StartChild(rec, cfg.Span, "stitch.chains",
+		obs.String("backend", string(backend)),
 		obs.Int("chains", k), obs.Int("iterations", cfg.Iterations))
 	perChain := cfg.Iterations / k
 	if perChain < 1 {
@@ -154,13 +159,40 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 		}
 	}
 
+	// Hybrid runs track the best state seen at any barrier (including
+	// the analytic seed itself): annealing at temperature can wander
+	// uphill and stay there, and a backend whose whole point is a good
+	// seed must never return worse than that seed. Pure observation —
+	// no rng draws — so the anneal path stays byte-identical.
+	var bestSnap *annealer
+	bestCost := math.Inf(1)
+	snapBest := func(src *annealer) {
+		if backend != BackendHybrid || src.cost >= bestCost {
+			return
+		}
+		bestCost = src.cost
+		if bestSnap == nil {
+			bestSnap = newAnnealer(p, pr, cfg, cfg.Seed)
+		}
+		bestSnap.cloneStateFrom(src)
+	}
+
 	chains := make([]*chain, k)
 	chainSpans := make([]*obs.Span, k)
 	for ci := range chains {
 		a := newAnnealer(p, pr, cfg, cfg.Seed+11+chainSeedStride*int64(ci))
 		if ci == 0 {
-			a.greedyInit()
+			if cfg.Backend == BackendHybrid {
+				// Hybrid: the analytic global placement replaces the
+				// greedy construction, so every chain starts from a
+				// wirelength-optimized seed and the move budget is
+				// spent refining, not discovering.
+				analyticSeed(p, pr, cfg, a, rec, runSp)
+			} else {
+				a.greedyInit()
+			}
 			a.initCostState()
+			snapBest(a)
 		} else {
 			// The greedy start is deterministic, so every replica begins
 			// from chain 0's state — cloned, not recomputed.
@@ -199,8 +231,13 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 			stopFrac:    stopFrac,
 			windowStart: a.cost,
 			every:       cfg.TraceEvery,
+			// Preallocated to the sampling grid plus the pinned final
+			// point, so runSegment's trace appends never reallocate.
+			trace: make([]CostSample, 0, budgets[ci]/cfg.TraceEvery+2),
 		}
-		rec.LaneLabel(chainLaneBase+ci, fmt.Sprintf("stitch chain %d", ci))
+		if rec != nil { // skip the Sprintf, not just the no-op call
+			rec.LaneLabel(chainLaneBase+ci, fmt.Sprintf("stitch chain %d", ci))
+		}
 		chainSpans[ci] = runSp.Child("stitch.chain",
 			obs.Int("chain", ci), obs.Int("budget", budgets[ci]),
 			obs.Float("t0", temp)).WithLane(chainLaneBase + ci)
@@ -211,6 +248,7 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 		seg := chainSpans[0].Child("stitch.segment")
 		chains[0].runSegment(perChain, cfg.Progress)
 		seg.End()
+		snapBest(chains[0].a)
 	} else {
 		// Fixed replica-exchange schedule: ExchangeRounds segments with
 		// a barrier and an exchange sweep after each but the last.
@@ -239,6 +277,9 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 				}(c, chainSpans[c.idx].Child("stitch.segment", obs.Int("round", r)), n)
 			}
 			wg.Wait()
+			for _, c := range chains {
+				snapBest(c.a)
+			}
 			if cfg.Progress != nil {
 				for _, c := range chains {
 					cfg.Progress(c.idx, c.it, c.a.cost)
@@ -288,12 +329,21 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 		}
 		finals[best] = chains[best].finish()
 	}
+	if bestSnap != nil && bestCost < finals[best] {
+		// The barrier-best beats every chain's end state even after the
+		// winner's completion pass: restore it (state only — telemetry
+		// stays with the chain) and re-run the completion on it.
+		swapState(chains[best].a, bestSnap)
+		finals[best] = chains[best].finish()
+	}
 	var moves, accepts, illegal int64
 	for ci, c := range chains {
 		moves += int64(c.a.moves)
 		accepts += int64(c.a.accepts)
 		illegal += int64(c.a.illegal)
-		rec.Add(fmt.Sprintf("stitch.chain.%d.exchanges", ci), int64(c.exchanges))
+		if rec != nil { // skip the Sprintf, not just the no-op call
+			rec.Add(fmt.Sprintf("stitch.chain.%d.exchanges", ci), int64(c.exchanges))
+		}
 		chainSpans[ci].Set(obs.Int("moves", c.a.moves),
 			obs.Int("accepts", c.a.accepts), obs.Int("exchanges", c.exchanges),
 			obs.Float("cost", finals[ci]))
@@ -307,6 +357,9 @@ func runChains(p *Problem, pr *prep, cfg Config) *Result {
 	}
 	res := buildResult(chains, best, finals, exchanges)
 	res.TraceEvery = cfg.TraceEvery
+	if backend == BackendHybrid {
+		res.GDIters = gdIters(cfg)
+	}
 	runSp.Set(obs.Int("winner", best), obs.Float("final_cost", res.FinalCost))
 	runSp.End()
 	return res

@@ -112,6 +112,15 @@ type Problem struct {
 // Config tunes the annealer.
 type Config struct {
 	Seed int64
+	// Backend selects the stitching algorithm: BackendAnneal (the zero
+	// value, byte-identical to previous releases), BackendAnalytic
+	// (gradient-descent global placement + snap-to-legal, no annealing)
+	// or BackendHybrid (the analytic placement seeds the annealer's
+	// cold chain in place of the greedy construction). See analytic.go.
+	Backend Backend
+	// GDIterations is the analytic backend's gradient-descent budget
+	// (default 256); ignored by BackendAnneal.
+	GDIterations int
 	// Iterations is the total SA move budget (default 200,000). With
 	// Chains > 1 the budget is divided evenly across the chains.
 	Iterations int
@@ -215,6 +224,9 @@ type Result struct {
 	Chains []ChainStats
 	// Exchanges counts accepted replica exchanges (0 for serial runs).
 	Exchanges int
+	// GDIters is the analytic gradient-descent iteration count of the
+	// run (0 for the pure annealer backend).
+	GDIters int
 }
 
 // ChainStats is the telemetry of one annealing chain.
@@ -312,6 +324,25 @@ func newPrep(p *Problem) *prep {
 		}
 		pr.originsX[bi] = p.Dev.CompatibleOriginsX(b.HomeX, b.Width)
 	}
+	// Bucket nets by endpoint into one flat backing array (counting
+	// pass, then fill): per-instance append slices cost one allocation
+	// per instance, which dominated stitch.Run's allocation profile.
+	deg := make([]int, len(p.Instances))
+	total := 0
+	for _, n := range p.Nets {
+		deg[n.From]++
+		total++
+		if n.To != n.From {
+			deg[n.To]++
+			total++
+		}
+	}
+	flat := make([]int, total)
+	off := 0
+	for i, d := range deg {
+		pr.netsOf[i] = flat[off : off : off+d]
+		off += d
+	}
 	for ni, n := range p.Nets {
 		pr.netsOf[n.From] = append(pr.netsOf[n.From], ni)
 		if n.To != n.From {
@@ -350,15 +381,26 @@ type annealer struct {
 }
 
 func newAnnealer(p *Problem, pr *prep, cfg Config, seed int64) *annealer {
+	// The pending scratch buffers are sized to the densest instance's
+	// net degree (x2 for swaps) up front, so the hot loop never grows
+	// them: freshInstCost/freshPairCost append within capacity.
+	deg := 0
+	for _, nets := range pr.netsOf {
+		if len(nets) > deg {
+			deg = len(nets)
+		}
+	}
 	return &annealer{
-		p:       p,
-		pr:      pr,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
-		occ:     newOccupancy(p.Dev),
-		origins: make([]Origin, len(p.Instances)),
-		cx:      make([]float64, len(p.Instances)),
-		cy:      make([]float64, len(p.Instances)),
+		p:           p,
+		pr:          pr,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		occ:         newOccupancy(p.Dev),
+		origins:     make([]Origin, len(p.Instances)),
+		cx:          make([]float64, len(p.Instances)),
+		cy:          make([]float64, len(p.Instances)),
+		pendingNets: make([]int, 0, 2*deg),
+		pendingVals: make([]float64, 0, 2*deg),
 	}
 }
 
@@ -385,7 +427,13 @@ func Run(p *Problem, cfg Config) *Result {
 	if len(p.Instances) == 0 {
 		return &Result{TraceEvery: cfg.TraceEvery} // nothing to place
 	}
-	return runChains(p, newPrep(p), cfg)
+	switch cfg.Backend {
+	case "", BackendAnneal, BackendHybrid:
+		return runChains(p, newPrep(p), cfg)
+	case BackendAnalytic:
+		return runAnalytic(p, newPrep(p), cfg)
+	}
+	panic(fmt.Sprintf("stitch: unknown backend %q (callers validate via ParseBackend)", cfg.Backend))
 }
 
 // fits reports whether block b placed at (x, y) avoids all occupied

@@ -53,6 +53,17 @@ type StitchOptions struct {
 	// report and the oracle.violations counters. Verification never
 	// changes results.
 	Check CheckLevel
+	// Backend selects the stitching algorithm: BackendAnneal ("" or
+	// "anneal", the default — byte-identical to previous releases),
+	// BackendAnalytic ("analytic", gradient-descent global placement
+	// plus snap-to-legal, no annealing) or BackendHybrid ("hybrid",
+	// the analytic placement seeds the annealer's cold chain). Unknown
+	// spellings fail RunCNV/Compile before any work is done. All
+	// backends are bit-reproducible from (Seed, Chains, Backend).
+	Backend string
+	// GDIterations is the analytic/hybrid backends' gradient-descent
+	// budget (default 256); ignored by the anneal backend.
+	GDIterations int
 }
 
 // merged overlays the deprecated flat aliases onto the structured
@@ -93,6 +104,24 @@ func warnAliasConflict(rec *Recorder, deprecated, structured string) {
 		log.Printf("macroflow: deprecated option %s conflicts with %s; the structured field wins — set only one",
 			deprecated, structured)
 	}
+}
+
+// Backend spellings accepted by StitchOptions.Backend (and the cmds'
+// -stitch-backend flags); re-exported so callers need not import
+// internal/stitch.
+const (
+	BackendAnneal   = string(stitch.BackendAnneal)
+	BackendAnalytic = string(stitch.BackendAnalytic)
+	BackendHybrid   = string(stitch.BackendHybrid)
+)
+
+// validate rejects option combinations the stitcher would refuse —
+// today that is only an unknown Backend spelling. RunCNV and Compile
+// call it before implementing any block, so a typo fails in
+// microseconds, not after the implementation phase.
+func (o StitchOptions) validate() error {
+	_, err := stitch.ParseBackend(o.Backend)
+	return err
 }
 
 // SearchChoice selects a per-call minimal-CF search strategy override.
@@ -211,6 +240,10 @@ func stitchConfig(o StitchOptions) stitch.Config {
 	scfg.TraceEvery = o.TraceEvery
 	scfg.Progress = o.Progress
 	scfg.Obs = o.Obs
+	// Backend is validated by RunCNV/Compile before any work starts;
+	// ParseBackend here only normalizes "" to the anneal default.
+	scfg.Backend, _ = stitch.ParseBackend(o.Backend)
+	scfg.GDIterations = o.GDIterations
 	return scfg
 }
 
@@ -225,6 +258,8 @@ func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions, parent *Span,
 	sres := stitch.Run(prob, scfg)
 	verifyStitch(o.Check, prob, sres, vr, o.Obs, parent)
 	rep := StitchReport{
+		Backend:         string(scfg.Backend),
+		GDIters:         sres.GDIters,
 		Placed:          sres.Placed,
 		Unplaced:        sres.Unplaced,
 		FinalCost:       sres.FinalCost,

@@ -16,13 +16,15 @@ count="${COUNT:-1}"
 
 benchtime="${BENCHTIME:-1s}"
 
-# Shorthand for the stitcher acceptance pair: the serial annealer
+# Shorthand for the stitcher acceptance set: the serial annealer
 # (BenchmarkFig5) versus the parallel-tempering chains
-# (BenchmarkStitchChains), both reporting ns/op and finalcost. A fixed
+# (BenchmarkStitchChains) on cnvW1A1, plus the backend trio on the 10×
+# synthetic workload (BenchmarkStitchAnneal10x / BenchmarkStitchAnalytic
+# / BenchmarkStitchHybrid), all reporting ns/op and finalcost. A fixed
 # iteration count pins the seed sequence, so the finalcost metric is
 # deterministic and comparable across snapshots.
 if [ "${pattern}" = "stitch" ]; then
-	pattern='^(BenchmarkFig5|BenchmarkStitchChains)$'
+	pattern='^(BenchmarkFig5|BenchmarkStitchChains|BenchmarkStitchAnneal10x|BenchmarkStitchAnalytic|BenchmarkStitchHybrid)$'
 	benchtime="${BENCHTIME:-20x}"
 fi
 
