@@ -10,7 +10,7 @@ import (
 func TestStitchBackendValidation(t *testing.T) {
 	f := verifyFlow(t)
 	bad := StitchOptions{Backend: "gradient"}
-	if err := bad.validate(); err == nil {
+	if err := bad.Validate(); err == nil {
 		t.Fatal("validate accepted an unknown backend")
 	}
 	if _, err := f.Compile(verifySmallDesign(t), MinSweepCF(), CompileOptions{
@@ -23,7 +23,7 @@ func TestStitchBackendValidation(t *testing.T) {
 		t.Errorf("RunCNV with a bad backend: err = %v, want backend error", err)
 	}
 	for _, ok := range []string{"", BackendAnneal, BackendAnalytic, BackendHybrid} {
-		if err := (StitchOptions{Backend: ok}).validate(); err != nil {
+		if err := (StitchOptions{Backend: ok}).Validate(); err != nil {
 			t.Errorf("validate(%q) = %v", ok, err)
 		}
 	}
@@ -125,7 +125,7 @@ func TestHybridCNVNoRegression(t *testing.T) {
 func stitchCNV(t *testing.T, f *Flow, backend string, seed int64) StitchReport {
 	t.Helper()
 	so := StitchOptions{Seed: seed, Iterations: 40000, Chains: 4, Backend: backend}
-	if err := so.validate(); err != nil {
+	if err := so.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	return f.stitchDesign(fix.stitch20, so, nil, nil)

@@ -12,12 +12,11 @@ import (
 	"os"
 	"strings"
 
+	"macroflow/internal/cliflags"
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
 	"macroflow/internal/implcache"
 	"macroflow/internal/ml"
-	"macroflow/internal/obs"
-	"macroflow/internal/pblock"
 )
 
 func main() {
@@ -28,19 +27,15 @@ func main() {
 	device := flag.String("device", "xc7z020", "target device")
 	capBin := flag.Int("cap", 75, "max samples per 0.02 CF bin (0 = no balancing)")
 	out := flag.String("o", "", "output CSV path (default stdout)")
-	strategy := flag.String("strategy", "linear", "min-CF search strategy: linear (paper sweep) or bisect (same CFs, O(log) runs)")
+	strategy := cliflags.AddStrategy(flag.CommandLine)
 	probeWorkers := flag.Int("probe-workers", 1, "speculative parallel probes per bisect search (deterministic results)")
-	cacheDir := flag.String("cache", "", "persistent implementation cache directory (reused across runs)")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file")
-	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
+	cacheDir := cliflags.AddCache(flag.CommandLine, "")
+	obsFlags := cliflags.AddObs(flag.CommandLine, "")
 	flag.Parse()
 
 	// A nil recorder disables all recording; the default outputs stay
 	// byte-identical when neither flag is given.
-	var rec *obs.Recorder
-	if *tracePath != "" || *metrics {
-		rec = obs.New()
-	}
+	rec := obsFlags.Recorder()
 
 	cfg := dataset.DefaultConfig()
 	cfg.Modules = *modules
@@ -53,14 +48,11 @@ func main() {
 	default:
 		log.Fatalf("unknown device %q", *device)
 	}
-	switch *strategy {
-	case "linear":
-		cfg.Search.Strategy = pblock.StrategyLinear
-	case "bisect":
-		cfg.Search.Strategy = pblock.StrategyBisect
-	default:
-		log.Fatalf("unknown strategy %q (linear, bisect)", *strategy)
+	searchStrategy, err := strategy.Parse()
+	if err != nil {
+		log.Fatal(err)
 	}
+	cfg.Search.Strategy = searchStrategy
 	cfg.Search.Workers = *probeWorkers
 	cfg.Search.Obs = rec
 	var cache *implcache.Cache
@@ -103,16 +95,8 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if *tracePath != "" {
-		if err := rec.WriteFile(*tracePath); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("trace written to %s", *tracePath)
-	}
-	if *metrics {
-		if err := rec.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
-		}
+	if err := obsFlags.Flush(rec, os.Stderr); err != nil {
+		log.Fatal(err)
 	}
 	names := ml.All.Names()
 	fmt.Fprintf(w, "name,%s,cf\n", strings.ReplaceAll(strings.Join(names, ","), "/", "_"))

@@ -29,7 +29,7 @@ import (
 	"os"
 	"strings"
 
-	"macroflow"
+	"macroflow/internal/cliflags"
 )
 
 func main() {
@@ -41,16 +41,18 @@ func main() {
 	trees := flag.Int("trees", 1000, "random forest size")
 	epochs := flag.Int("epochs", 600, "neural network epochs")
 	stitchIters := flag.Int("stitch-iters", 300000, "SA iteration budget")
-	stitchChains := flag.Int("stitch-chains", 0, "parallel-tempering chains for stitching (0/1 = serial, bit-identical to previous releases)")
-	stitchBackend := flag.String("stitch-backend", "anneal", "stitcher backend: anneal, analytic, or hybrid (analytic gradient-descent seed + annealing)")
+	st := cliflags.AddStitch(flag.CommandLine,
+		"parallel-tempering chains for stitching (0/1 = serial, bit-identical to previous releases)")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
-	cacheDir := flag.String("cache", "", "persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file — load it at chrome://tracing or https://ui.perfetto.dev")
-	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
-	check := flag.String("check", "off", "oracle cross-check level for the cnv flow runs: off, sampled or full (full re-probes every minimal-CF claim and recounts every placement — slow, but the run is fully audited)")
+	cacheDir := cliflags.AddCache(flag.CommandLine,
+		"persistent implementation cache directory (off by default: cached labels report zero tool runs, which changes the §VIII run-count outputs)")
+	obsFlags := cliflags.AddObs(flag.CommandLine,
+		"write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file — load it at chrome://tracing or https://ui.perfetto.dev")
+	check := cliflags.AddCheck(flag.CommandLine,
+		"oracle cross-check level for the cnv flow runs: off, sampled or full (full re-probes every minimal-CF claim and recounts every placement — slow, but the run is fully audited)")
 	flag.Parse()
 
-	checkLevel, err := macroflow.ParseCheckLevel(*check)
+	checkLevel, err := check.Parse()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,16 +63,14 @@ func main() {
 		trees:         *trees,
 		epochs:        *epochs,
 		stitchIters:   *stitchIters,
-		stitchChains:  *stitchChains,
-		stitchBackend: *stitchBackend,
+		stitchChains:  st.Chains,
+		stitchBackend: st.Backend,
 		cacheDir:      *cacheDir,
 		check:         checkLevel,
 	}
 	// The recorder is only allocated when asked for: a nil *Recorder
 	// disables all recording, keeping the default outputs byte-identical.
-	if *tracePath != "" || *metrics {
-		c.rec = macroflow.NewRecorder()
-	}
+	c.rec = obsFlags.Recorder()
 	if *quick {
 		c.modules = 400
 		c.trees = 100
@@ -115,16 +115,8 @@ func main() {
 			ran++
 		}
 	}
-	if *tracePath != "" {
-		if err := c.rec.WriteFile(*tracePath); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("trace written to %s", *tracePath)
-	}
-	if *metrics {
-		if err := c.rec.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
-		}
+	if err := obsFlags.Flush(c.rec, os.Stderr); err != nil {
+		log.Fatal(err)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", *exp)

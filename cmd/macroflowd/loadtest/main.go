@@ -1,0 +1,193 @@
+// Command loadtest drives a running macroflowd with concurrent compile
+// jobs through the api/v1 client and reports a throughput/latency
+// snapshot as JSON (scripts/loadtest.sh wraps it into BENCH_4.json).
+//
+// The -unique flag controls how many distinct designs the job mix
+// cycles through: 1 makes every job identical (the dedup stress case —
+// after the first miss, the shared cache and the singleflight layer
+// serve everything), higher values add fresh block searches.
+//
+//	loadtest -addr 127.0.0.1:8080 -jobs 64 -concurrency 8 -unique 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	apiv1 "macroflow/api/v1"
+)
+
+// report is the snapshot printed to -out (or stdout).
+type report struct {
+	Addr        string  `json:"addr"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	Unique      int     `json:"unique"`
+	Iterations  int     `json:"iterations"`
+	WallSeconds float64 `json:"wallSeconds"`
+	JobsPerSec  float64 `json:"jobsPerSec"`
+
+	// Latency is submit→done in milliseconds, over successful jobs.
+	LatencyMsP50 float64 `json:"latencyMsP50"`
+	LatencyMsP90 float64 `json:"latencyMsP90"`
+	LatencyMsP99 float64 `json:"latencyMsP99"`
+	LatencyMsMax float64 `json:"latencyMsMax"`
+
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Rejected  int `json:"rejected"`
+
+	// Server is the daemon's own view after the run: queue counters and
+	// the shared cache's dedup breakdown (misses = fresh searches;
+	// memHits + singleflightHits = work the dedup layers absorbed).
+	Server *apiv1.ServerStats `json:"server,omitempty"`
+}
+
+// jobSpec builds the i-th job of the mix: designs cycle over `unique`
+// variants by perturbing the logic block's LUT count, so the daemon
+// performs exactly `unique` pairs of fresh block searches and serves
+// the rest from the shared cache.
+func jobSpec(i, unique, iterations int) *apiv1.CompileRequest {
+	variant := i % unique
+	return &apiv1.CompileRequest{
+		Design: apiv1.DesignSpec{
+			Blocks: []apiv1.BlockSpec{
+				{Name: fmt.Sprintf("lt_logic_%d", variant), Components: []apiv1.ComponentSpec{
+					{Kind: apiv1.CompLogic, LUTs: 96 + 8*variant, Fanin: 4, Depth: 2}}},
+				{Name: fmt.Sprintf("lt_sr_%d", variant), Components: []apiv1.ComponentSpec{
+					{Kind: apiv1.CompShiftRegs, Count: 4 + variant, Length: 8, ControlSets: 2, Fanin: 4}}},
+			},
+			Instances: []apiv1.InstanceSpec{{Name: "l0", Block: 0}, {Name: "s0", Block: 1}},
+			Nets:      []apiv1.NetSpec{{From: 0, To: 1, Width: 8}},
+		},
+		Stitch: apiv1.StitchParams{Seed: 1, Iterations: iterations},
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadtest: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "macroflowd address (host:port)")
+	jobs := flag.Int("jobs", 64, "total jobs to submit")
+	concurrency := flag.Int("concurrency", 8, "concurrent submitters")
+	unique := flag.Int("unique", 4, "distinct designs in the job mix (1 = all identical, max dedup)")
+	iterations := flag.Int("iterations", 2000, "stitch iterations per job")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if *unique < 1 {
+		*unique = 1
+	}
+
+	c := apiv1.NewClient("http://" + *addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if _, err := c.Health(ctx); err != nil {
+		log.Fatalf("daemon not reachable at %s: %v", *addr, err)
+	}
+
+	latencies := make([]float64, 0, *jobs)
+	var mu sync.Mutex
+	var failed, rejected int
+
+	start := time.Now()
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				job, err := c.Submit(ctx, jobSpec(i, *unique, *iterations))
+				if err != nil {
+					mu.Lock()
+					var ae *apiv1.Error
+					if errors.As(err, &ae) && (ae.Code == apiv1.ErrQueueFull || ae.Code == apiv1.ErrDraining) {
+						rejected++
+					} else {
+						failed++
+						log.Printf("job %d: submit: %v", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				final, err := c.Wait(ctx, job.ID, 5*time.Millisecond)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || final.State != apiv1.JobDone {
+					failed++
+					log.Printf("job %d (%s): %v state=%v", i, job.ID, err, final)
+				} else {
+					latencies = append(latencies, float64(lat.Microseconds())/1000)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Float64s(latencies)
+	rep := report{
+		Addr:        *addr,
+		Jobs:        *jobs,
+		Concurrency: *concurrency,
+		Unique:      *unique,
+		Iterations:  *iterations,
+		WallSeconds: wall.Seconds(),
+		Succeeded:   len(latencies),
+		Failed:      failed,
+		Rejected:    rejected,
+	}
+	if wall > 0 {
+		rep.JobsPerSec = float64(len(latencies)) / wall.Seconds()
+	}
+	rep.LatencyMsP50 = percentile(latencies, 0.50)
+	rep.LatencyMsP90 = percentile(latencies, 0.90)
+	rep.LatencyMsP99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMsMax = latencies[n-1]
+	}
+	if st, err := c.Stats(ctx); err == nil {
+		rep.Server = st
+	} else {
+		log.Printf("stats: %v", err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command macroflowd serves the macroflow compile flow as a
+// long-running HTTP+JSON service (the api/v1 contract): a bounded
+// priority queue of compile jobs drained by N concurrent worker
+// sessions that share one block cache — with its persistent implcache
+// layer when -cache is set — and one loaded estimator, with
+// singleflight dedup of identical in-flight block implementations,
+// per-job JSONL progress streams bridged from the obs spans,
+// continuous background oracle audits, and graceful drain on SIGTERM
+// (stop admitting, finish every accepted job, flush cache stats).
+//
+//	macroflowd -addr 127.0.0.1:8080 -workers 4 -cache /var/cache/macroflow
+//	curl -s localhost:8080/v1/jobs -d '{"design":{"builtin":"cnvW1A1"}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"macroflow"
+	"macroflow/internal/cliflags"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("macroflowd: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	device := flag.String("device", "xc7z020", "default target device (xc7z020, xc7z045); requests may override")
+	workers := flag.Int("workers", 4, "concurrent compile worker sessions")
+	queueCap := flag.Int("queue", 64, "bounded compile queue capacity (admission control)")
+	cacheDir := cliflags.AddCache(flag.CommandLine, "")
+	estimatorPath := flag.String("estimator", "", "estimator model file (macroflow.SaveEstimator format) served for mode \"estimator\"")
+	auditEvery := flag.Duration("audit-interval", 0, "interval between background -check sampled oracle audits (0 = off)")
+	flag.Parse()
+
+	cfg := serverConfig{
+		Device:     *device,
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		AuditEvery: *auditEvery,
+	}
+	if *cacheDir != "" {
+		cache, err := macroflow.NewPersistentBlockCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cache = cache
+		log.Printf("persistent cache at %s", *cacheDir)
+	}
+	if *estimatorPath != "" {
+		f, err := os.Open(*estimatorPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := macroflow.LoadEstimator(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Estimator = est
+		log.Printf("estimator loaded from %s", *estimatorPath)
+	}
+
+	s := newServer(cfg)
+	s.start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	hs := &http.Server{Handler: s.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sg := <-sig:
+		log.Printf("%s: draining (no new admissions; finishing accepted jobs)", sg)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	// Drain: the server stops admitting (503 draining), the workers
+	// finish every queued and running job, and the persistent cache's
+	// lifetime stats are flushed — then the HTTP listener shuts down.
+	s.drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}

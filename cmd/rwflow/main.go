@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"macroflow"
+	"macroflow/internal/cliflags"
 )
 
 func main() {
@@ -29,20 +30,13 @@ func main() {
 	epochs := flag.Int("epochs", 400, "NN training epochs for -mode estimator")
 	seed := flag.Int64("seed", 1, "seed")
 	iters := flag.Int("stitch-iters", 200000, "SA iterations")
-	chains := flag.Int("stitch-chains", 0, "parallel-tempering chains (0/1 = serial; results depend only on -seed and this value)")
-	backend := flag.String("stitch-backend", "anneal", "stitcher backend: anneal, analytic, or hybrid (analytic gradient-descent seed + annealing)")
+	st := cliflags.AddStitch(flag.CommandLine, "")
 	gdIters := flag.Int("stitch-gd-iters", 0, "gradient-descent iterations for -stitch-backend analytic/hybrid (0 = default 256)")
 	showMap := flag.Bool("map", false, "print the ASCII placement map")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (or JSONL with a .jsonl extension) of the run to this file")
-	metrics := flag.Bool("metrics", false, "print the per-phase span/metric summary to stderr at exit")
+	obsFlags := cliflags.AddObs(flag.CommandLine, "")
 	flag.Parse()
 
-	// A nil recorder disables all recording; the default outputs stay
-	// byte-identical when neither flag is given.
-	var rec *macroflow.Recorder
-	if *tracePath != "" || *metrics {
-		rec = macroflow.NewRecorder()
-	}
+	rec := obsFlags.Recorder()
 
 	flow, err := macroflow.NewFlow(*device)
 	if err != nil {
@@ -70,8 +64,8 @@ func main() {
 	}
 
 	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
-		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: *chains,
-			Backend: *backend, GDIterations: *gdIters, Obs: rec},
+		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: st.Chains,
+			Backend: st.Backend, GDIterations: *gdIters, Obs: rec},
 		Implement: macroflow.ImplementOptions{Obs: rec},
 	})
 	if err != nil {
@@ -114,16 +108,8 @@ func main() {
 	if *showMap {
 		fmt.Println(res.Stitch.Map)
 	}
-	if *tracePath != "" {
-		if err := rec.WriteFile(*tracePath); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("trace written to %s", *tracePath)
-	}
-	if *metrics {
-		if err := rec.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
-		}
+	if err := obsFlags.Flush(rec, os.Stderr); err != nil {
+		log.Fatal(err)
 	}
 }
 

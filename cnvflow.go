@@ -187,7 +187,10 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 
 	im := opts.implementOptions()
 	so := opts.stitchOptions()
-	if err := so.validate(); err != nil {
+	if err := so.Validate(); err != nil {
+		return nil, err
+	}
+	if err := im.Validate(); err != nil {
 		return nil, err
 	}
 	search := f.searchFor(im)
@@ -276,6 +279,9 @@ func tallyHit(h blockHit, cacheHits *int, stats *CacheStats) {
 	case hitDisk:
 		*cacheHits++
 		stats.DiskHits++
+	case hitFlight:
+		*cacheHits++
+		stats.SingleflightHits++
 	default:
 		stats.Misses++
 		if h.stored {

@@ -87,8 +87,22 @@ type BlockCache struct {
 	// (blockDiskKey), serving flows whose inputs are modules rather than
 	// specs (RunCNV) and spec-keyed misses whose content is unchanged.
 	byModule map[string]pblock.SearchResult
+	// inflight dedupes concurrent identical searches (singleflight):
+	// while one goroutine — possibly serving another job in a
+	// shared-cache daemon — implements a block, later callers with the
+	// same content-addressed key wait for its result instead of
+	// repeating the search.
+	inflight map[string]*inflightSearch
 	disk     *implcache.Cache
 	stats    CacheStats
+}
+
+// inflightSearch is one in-progress block implementation other callers
+// can wait on. sr/err are written exactly once, before done is closed.
+type inflightSearch struct {
+	done chan struct{}
+	sr   pblock.SearchResult
+	err  error
 }
 
 type cacheEntry struct {
@@ -102,6 +116,12 @@ type CacheStats struct {
 	MemHits int
 	// DiskHits counts blocks rebuilt from the persistent layer.
 	DiskHits int
+	// SingleflightHits counts blocks whose search was deduplicated
+	// against an identical in-flight implementation: another goroutine
+	// (possibly another job sharing the cache in a daemon) was already
+	// computing the same content-addressed record, so this call waited
+	// and shared its result instead of repeating the search.
+	SingleflightHits int
 	// Misses counts blocks that had to be implemented from scratch.
 	Misses int
 	// Stores counts records written to the persistent layer.
@@ -150,6 +170,30 @@ func (c *BlockCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// FlushStats persists the persistent layer's lifetime counters to its
+// stats sidecar now (a no-op for a memory-only cache). Long-running
+// processes — macroflowd in particular — call it on drain, so counters
+// accumulated by a daemon session survive the process the same way CLI
+// exits do.
+func (c *BlockCache) FlushStats() error {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.FlushStats()
+}
+
+// PersistentStats reports the persistent layer's lifetime counters
+// (hits, misses, stores and negative verdicts across every process
+// that ever used the cache directory, this one included). All zeros
+// for a memory-only cache.
+func (c *BlockCache) PersistentStats() (hits, misses, stores, negatives uint64) {
+	if c.disk == nil {
+		return 0, 0, 0, 0
+	}
+	s := c.disk.LifetimeStats()
+	return s.Hits, s.Misses, s.Stores, s.Negatives
 }
 
 // key derives the cache key from the device and the full component
@@ -210,11 +254,13 @@ type CompileResult struct {
 	// ToolRuns sums the place-and-route attempts of this call (cache
 	// hits contribute zero).
 	ToolRuns int
-	// CacheHits counts block types served from the cache, from either
-	// layer (CacheHits == Cache.MemHits + Cache.DiskHits for this call).
+	// CacheHits counts block types served from the cache rather than a
+	// fresh search (CacheHits == Cache.MemHits + Cache.DiskHits +
+	// Cache.SingleflightHits for this call).
 	CacheHits int
 	// Cache breaks the hits down by layer for this call: in-memory hits,
-	// persistent-layer rebuilds, misses and new persistent stores.
+	// persistent-layer rebuilds, in-flight singleflight joins, misses
+	// and new persistent stores.
 	Cache CacheStats
 	// Stitch is the assembled design (zero value when SkipStitch).
 	Stitch StitchReport
@@ -237,7 +283,10 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 
 	im := opts.implementOptions()
 	so := opts.stitchOptions()
-	if err := so.validate(); err != nil {
+	if err := so.Validate(); err != nil {
+		return nil, err
+	}
+	if err := im.Validate(); err != nil {
 		return nil, err
 	}
 	search := f.searchFor(im)
@@ -324,6 +373,7 @@ const (
 	hitMiss = iota
 	hitMem
 	hitDisk
+	hitFlight
 )
 
 // hitName renders a blockHit kind for trace attributes.
@@ -333,6 +383,8 @@ func hitName(kind int) string {
 		return "mem"
 	case hitDisk:
 		return "disk"
+	case hitFlight:
+		return "singleflight"
 	default:
 		return "miss"
 	}
@@ -376,10 +428,12 @@ func (f *Flow) compileBlock(spec *Spec, mode CFMode, search pblock.SearchConfig,
 
 // cachedImplement implements an elaborated module under the CF mode,
 // consulting the cache layers in order: the module-keyed in-process map,
-// then the persistent store (a disk record rebuilds the placement via a
-// Verify-audited warm start), and only then a fresh search, whose outcome
-// is written back to both layers. It is the one implementation path
-// shared by Compile and RunCNV.
+// then the in-flight singleflight registry (an identical search already
+// running — in this job or a concurrent one sharing the cache — is
+// joined, not repeated), then the persistent store (a disk record
+// rebuilds the placement via a Verify-audited warm start), and only
+// then a fresh search, whose outcome is written back to both layers.
+// It is the one implementation path shared by Compile and RunCNV.
 func (f *Flow) cachedImplement(m *netlist.Module, rep place.ShapeReport, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (pblock.SearchResult, blockHit, error) {
 	if cache == nil {
 		sr, err := f.implementModule(m, rep, mode, search)
@@ -396,7 +450,42 @@ func (f *Flow) cachedImplement(m *netlist.Module, rep place.ShapeReport, mode CF
 		search.Obs.Add("blockcache.mem_hit", 1)
 		return sr, blockHit{kind: hitMem}, nil
 	}
+	if fl, ok := cache.inflight[key]; ok {
+		cache.mu.Unlock()
+		<-fl.done
+		search.Obs.Add("blockcache.singleflight_hit", 1)
+		cache.mu.Lock()
+		cache.stats.SingleflightHits++
+		cache.mu.Unlock()
+		// A failed leader does not poison followers beyond its own
+		// error: the next cachedImplement call for this key elects a
+		// fresh leader (negative verdicts persist via the disk layer).
+		if fl.err != nil {
+			return pblock.SearchResult{}, blockHit{}, fl.err
+		}
+		return fl.sr, blockHit{kind: hitFlight}, nil
+	}
+	fl := &inflightSearch{done: make(chan struct{})}
+	if cache.inflight == nil {
+		cache.inflight = make(map[string]*inflightSearch)
+	}
+	cache.inflight[key] = fl
 	cache.mu.Unlock()
+	sr, hit, err := f.missImplement(key, m, rep, mode, search, cache)
+	// Publish before unregistering: byModule is already populated (on
+	// success), so a caller arriving in between gets a memory hit.
+	fl.sr, fl.err = sr, err
+	cache.mu.Lock()
+	delete(cache.inflight, key)
+	cache.mu.Unlock()
+	close(fl.done)
+	return sr, hit, err
+}
+
+// missImplement resolves a block implementation the in-process map does
+// not hold: the persistent store first, then a fresh search. Callers
+// hold the key's singleflight slot.
+func (f *Flow) missImplement(key string, m *netlist.Module, rep place.ShapeReport, mode CFMode, search pblock.SearchConfig, cache *BlockCache) (pblock.SearchResult, blockHit, error) {
 	if cache.disk != nil {
 		var rec pblock.ImplRecord
 		if cache.disk.Get(key, &rec) {

@@ -194,3 +194,54 @@ func TestStatsSurviveReload(t *testing.T) {
 		t.Fatalf("Len() = %d, want 1 (stats.json excluded)", n)
 	}
 }
+
+// TestKilledProcessStatsConsistent is the regression test for daemon
+// drain: a process that dies without calling FlushStats must still
+// leave a consistent sidecar behind. Stores flush eagerly on every Put,
+// and lookup counters auto-flush at most statsFlushEvery events apart —
+// so a reopened cache reports every store and all but a bounded tail of
+// lookups, and never counts anything that did not happen.
+func TestKilledProcessStatsConsistent(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got record
+	c.Get(Key("k0"), &got) // miss
+	if err := c.Put(Key("k0"), record{CF: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(Key("k0"), &got) // hit, after the Put's eager flush
+	// The process is now "killed": c is dropped with no FlushStats.
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := re.LifetimeStats()
+	if lt.Stores != 1 {
+		t.Errorf("reopened Stores = %d, want 1 (Put flushes eagerly)", lt.Stores)
+	}
+	if lt.Misses != 1 {
+		t.Errorf("reopened Misses = %d, want 1 (miss happened before the Put flush)", lt.Misses)
+	}
+	// The hit after the last flush is the bounded lost tail.
+	if lt.Hits > 1 {
+		t.Errorf("reopened Hits = %d — the sidecar counts events that never flushed", lt.Hits)
+	}
+
+	// Enough unflushed lookups trip the automatic flush, bounding the
+	// tail a kill can lose even with no Put in sight.
+	for i := 0; i < statsFlushEvery; i++ {
+		re.Get(Key("absent", string(rune('a'+i%26)), string(rune('0'+i/26))), &got)
+	}
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt2 := re2.LifetimeStats(); lt2.Misses < statsFlushEvery {
+		t.Errorf("after %d unflushed misses a reopen sees Misses = %d; the auto-flush cap leaked",
+			statsFlushEvery, lt2.Misses)
+	}
+}

@@ -72,6 +72,7 @@ type Recorder struct {
 	mu        sync.Mutex
 	spans     []SpanRecord
 	laneNames map[int]string
+	sink      func(SpanRecord)
 
 	counters sync.Map // string -> *Counter
 	gauges   sync.Map // string -> *Gauge
@@ -210,7 +211,28 @@ func (s *Span) End() {
 	s.mu.Unlock()
 	s.r.mu.Lock()
 	s.r.spans = append(s.r.spans, rec)
+	sink := s.r.sink
 	s.r.mu.Unlock()
+	if sink != nil {
+		sink(rec)
+	}
+}
+
+// SetSink installs a callback invoked synchronously with every span
+// record the moment it finishes (End for spans, immediately for
+// events) — the span→event bridge long-running services use to stream
+// per-job progress while the run is still going, instead of waiting
+// for an exporter over the finished recorder. The sink runs on the
+// goroutine that ended the span and must not call back into the
+// recorder's lock-holding methods; a nil fn (or a nil receiver)
+// disables streaming.
+func (r *Recorder) SetSink(fn func(SpanRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
 }
 
 // Event records a zero-duration instant under s.
@@ -234,7 +256,11 @@ func (s *Span) recordInstant() {
 	rec := SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Lane: s.lane, Start: s.start, Attrs: s.attrs}
 	s.r.mu.Lock()
 	s.r.spans = append(s.r.spans, rec)
+	sink := s.r.sink
 	s.r.mu.Unlock()
+	if sink != nil {
+		sink(rec)
+	}
 }
 
 // LaneLabel names a lane for the exporters (rendered as the Chrome

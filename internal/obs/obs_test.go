@@ -463,3 +463,90 @@ func TestTextReport(t *testing.T) {
 		}
 	}
 }
+
+// TestSetSink: the span→event bridge must deliver every finished span
+// and instant event to the sink synchronously (before End/Event
+// returns), with the same records Spans() stores, and survive a nil
+// receiver or a nil sink.
+func TestSetSink(t *testing.T) {
+	r := New()
+	var got []SpanRecord
+	r.SetSink(func(sr SpanRecord) { got = append(got, sr) })
+
+	sp := r.Start("outer", String("k", "v"))
+	r.Event("instant", Int("n", 3))
+	if len(got) != 1 {
+		t.Fatalf("sink saw %d records after Event, want 1 (synchronous delivery)", len(got))
+	}
+	if got[0].Name != "instant" || got[0].Dur != 0 {
+		t.Errorf("instant record = %+v, want zero-duration 'instant'", got[0])
+	}
+	sp.End()
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d records after End, want 2", len(got))
+	}
+	if got[1].Name != "outer" {
+		t.Errorf("span record name = %q, want outer", got[1].Name)
+	}
+	// The sink stream and the stored spans are the same records — the
+	// sink sees completion order, Spans() start order, so match by ID.
+	spans := r.Spans()
+	if len(spans) != len(got) {
+		t.Fatalf("Spans() has %d records, sink saw %d", len(spans), len(got))
+	}
+	byID := map[int64]SpanRecord{}
+	for _, sr := range spans {
+		byID[sr.ID] = sr
+	}
+	for _, sr := range got {
+		if stored, ok := byID[sr.ID]; !ok || stored.Name != sr.Name || stored.Dur != sr.Dur {
+			t.Errorf("sink record %+v has no matching stored span", sr)
+		}
+	}
+
+	// Clearing the sink stops delivery without touching recording.
+	r.SetSink(nil)
+	r.Event("after-clear")
+	if len(got) != 2 {
+		t.Errorf("cleared sink still saw records (%d)", len(got))
+	}
+	if len(r.Spans()) != 3 {
+		t.Errorf("recording stopped with the sink: %d spans stored", len(r.Spans()))
+	}
+
+	// Nil recorders ignore SetSink like every other method.
+	var nilRec *Recorder
+	nilRec.SetSink(func(SpanRecord) { t.Error("nil recorder delivered a record") })
+	nilRec.Event("nope")
+}
+
+// TestSetSinkConcurrent: sink delivery under concurrent span traffic
+// must not race (the sink itself is called outside the recorder lock,
+// so the callback serializes its own state).
+func TestSetSinkConcurrent(t *testing.T) {
+	r := New()
+	var mu sync.Mutex
+	seen := 0
+	r.SetSink(func(SpanRecord) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Start("w").End()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != n*50 {
+		t.Errorf("sink saw %d records, want %d", seen, n*50)
+	}
+}

@@ -95,8 +95,11 @@ type Placement struct {
 
 // Options tunes the detailed placer.
 type Options struct {
-	// Seed perturbs the spread jitter; 0 derives a seed from the module
-	// name so repeated runs are deterministic.
+	// Seed perturbs the spread jitter; 0 derives a seed from the
+	// module's structural content, so repeated runs are deterministic
+	// and renamed-but-identical modules place identically — the
+	// implementation caches key on content, never on names, and a
+	// cached result must match what a fresh run would produce.
 	Seed int64
 	// Compact forces spread 1 regardless of slack (area-optimizing mode,
 	// like a vendor tool at ~100% utilization).
@@ -179,15 +182,42 @@ type placer struct {
 	noCS bool
 }
 
+// contentSeed derives the default jitter seed from the module's
+// structural content — the same fields the implementation cache's
+// ModuleHash covers — never its name. Two modules the cache considers
+// identical must place identically, or a cache hit could return a
+// different placement than a fresh run.
+func contentSeed(m *netlist.Module) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "depth %d\n", m.LogicDepth)
+	for _, cs := range m.ControlSets {
+		fmt.Fprintf(h, "cs %d %d %d\n", cs.Clk, cs.Rst, cs.En)
+	}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		fmt.Fprintf(h, "cell %d %d %d %d\n", c.Kind, c.ControlSet, c.Chain, c.ChainPos)
+	}
+	for ni := range m.Nets {
+		n := &m.Nets[ni]
+		fmt.Fprintf(h, "net %d", n.Driver)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(h, " %d", s)
+		}
+		fmt.Fprintln(h)
+	}
+	for _, o := range m.Outputs {
+		fmt.Fprintf(h, "out %d\n", o)
+	}
+	return int64(h.Sum64())
+}
+
 // Place performs detailed placement of module m inside rect on dev,
 // using the shape report rep from QuickPlace.
 func Place(dev *fabric.Device, m *netlist.Module, rep ShapeReport, rect fabric.Rect, opts Options) (*Placement, error) {
 	p := &placer{dev: dev, m: m, rect: rect, rep: rep}
 	seed := opts.Seed
 	if seed == 0 {
-		h := fnv.New64a()
-		h.Write([]byte(m.Name))
-		seed = int64(h.Sum64())
+		seed = contentSeed(m)
 	}
 	p.rng = rand.New(rand.NewSource(seed))
 	p.noCS = opts.IgnoreControlSets

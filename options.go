@@ -1,6 +1,7 @@
 package macroflow
 
 import (
+	"fmt"
 	"log"
 	"runtime"
 	"sync"
@@ -115,11 +116,25 @@ const (
 	BackendHybrid   = string(stitch.BackendHybrid)
 )
 
-// validate rejects option combinations the stitcher would refuse —
-// today that is only an unknown Backend spelling. RunCNV and Compile
-// call it before implementing any block, so a typo fails in
-// microseconds, not after the implementation phase.
-func (o StitchOptions) validate() error {
+// Validate rejects option combinations the stitcher would refuse: an
+// unknown Backend spelling, negative budgets or an out-of-range check
+// level. RunCNV, Compile and the macroflowd request decoder all call
+// it, so the CLI and the HTTP service reject bad options with the same
+// messages — and a typo fails in microseconds, not after the
+// implementation phase.
+func (o StitchOptions) Validate() error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Iterations must be >= 0 (got %d)", o.Iterations)
+	}
+	if o.Chains < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Chains must be >= 0 (got %d)", o.Chains)
+	}
+	if o.GDIterations < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.GDIterations must be >= 0 (got %d)", o.GDIterations)
+	}
+	if err := o.Check.Validate(); err != nil {
+		return err
+	}
 	_, err := stitch.ParseBackend(o.Backend)
 	return err
 }
@@ -170,6 +185,26 @@ type ImplementOptions struct {
 	// in the result's Verify report and the oracle.violations counters.
 	// Verification never changes results.
 	Check CheckLevel
+}
+
+// Validate rejects implementation options the flow would refuse:
+// negative parallelism and out-of-range Strategy or Check selectors.
+// RunCNV, Compile and the macroflowd request decoder all call it, so
+// the CLI and the HTTP service reject bad options with the same
+// messages.
+func (o ImplementOptions) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("macroflow: ImplementOptions.Workers must be >= 0 (got %d)", o.Workers)
+	}
+	if o.ProbeWorkers < 0 {
+		return fmt.Errorf("macroflow: ImplementOptions.ProbeWorkers must be >= 0 (got %d)", o.ProbeWorkers)
+	}
+	switch o.Strategy {
+	case SearchFlowDefault, SearchForceLinear, SearchForceBisect:
+	default:
+		return fmt.Errorf("macroflow: unknown search strategy %d (want SearchFlowDefault, SearchForceLinear or SearchForceBisect)", o.Strategy)
+	}
+	return o.Check.Validate()
 }
 
 // merged overlays the deprecated flat aliases onto the structured

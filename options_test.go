@@ -237,6 +237,143 @@ func TestTraceEveryOption(t *testing.T) {
 	}
 }
 
+// TestStitchOptionsMergedTable drives the merged() alias overlay
+// through every path: both unset, alias-only, structured-only, and the
+// conflict case where the structured field must win.
+func TestStitchOptionsMergedTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		structured   StitchOptions
+		seed         int64
+		iters        int
+		adaptive     bool
+		wantSeed     int64
+		wantIters    int
+		wantAdaptive bool
+	}{
+		{name: "both-unset"},
+		{name: "alias-only", seed: 7, iters: 1234, adaptive: true,
+			wantSeed: 7, wantIters: 1234, wantAdaptive: true},
+		{name: "structured-only", structured: StitchOptions{Seed: 3, Iterations: 500},
+			wantSeed: 3, wantIters: 500},
+		{name: "structured-wins-conflict", structured: StitchOptions{Seed: 3, Iterations: 500},
+			seed: 9, iters: 900, wantSeed: 3, wantIters: 500},
+		{name: "adaptive-alias-ors-in", structured: StitchOptions{AdaptiveStop: true},
+			wantAdaptive: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.structured.merged(tc.seed, tc.iters, tc.adaptive)
+			if got.Seed != tc.wantSeed {
+				t.Errorf("Seed = %d, want %d", got.Seed, tc.wantSeed)
+			}
+			if got.Iterations != tc.wantIters {
+				t.Errorf("Iterations = %d, want %d", got.Iterations, tc.wantIters)
+			}
+			if got.AdaptiveStop != tc.wantAdaptive {
+				t.Errorf("AdaptiveStop = %v, want %v", got.AdaptiveStop, tc.wantAdaptive)
+			}
+		})
+	}
+}
+
+// TestImplementOptionsMergedTable covers the Workers/Cache alias
+// overlay the same way.
+func TestImplementOptionsMergedTable(t *testing.T) {
+	structCache, aliasCache := NewBlockCache(), NewBlockCache()
+	cases := []struct {
+		name        string
+		structured  ImplementOptions
+		workers     int
+		cache       *BlockCache
+		wantWorkers int
+		wantCache   *BlockCache
+	}{
+		{name: "both-unset"},
+		{name: "alias-only", workers: 3, cache: aliasCache,
+			wantWorkers: 3, wantCache: aliasCache},
+		{name: "structured-only", structured: ImplementOptions{Workers: 2, Cache: structCache},
+			wantWorkers: 2, wantCache: structCache},
+		{name: "structured-wins-conflict",
+			structured: ImplementOptions{Workers: 2, Cache: structCache},
+			workers:    5, cache: aliasCache,
+			wantWorkers: 2, wantCache: structCache},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.structured.merged(tc.workers, tc.cache)
+			if got.Workers != tc.wantWorkers {
+				t.Errorf("Workers = %d, want %d", got.Workers, tc.wantWorkers)
+			}
+			if got.Cache != tc.wantCache {
+				t.Errorf("Cache = %p, want %p", got.Cache, tc.wantCache)
+			}
+		})
+	}
+}
+
+// TestOptionsValidate drives the consolidated Validate() methods over
+// good and bad option sets; RunCNV, Compile and the macroflowd request
+// decoder all reject through these same messages.
+func TestOptionsValidate(t *testing.T) {
+	stitchCases := []struct {
+		name string
+		o    StitchOptions
+		ok   bool
+	}{
+		{"zero", StitchOptions{}, true},
+		{"full", StitchOptions{Seed: 1, Iterations: 100, Chains: 2, Backend: BackendHybrid,
+			GDIterations: 10, Check: CheckSampled}, true},
+		{"negative-iterations", StitchOptions{Iterations: -1}, false},
+		{"negative-chains", StitchOptions{Chains: -2}, false},
+		{"negative-gd", StitchOptions{GDIterations: -3}, false},
+		{"bad-backend", StitchOptions{Backend: "bogus"}, false},
+		{"bad-check", StitchOptions{Check: CheckLevel(42)}, false},
+	}
+	for _, tc := range stitchCases {
+		if err := tc.o.Validate(); (err == nil) != tc.ok {
+			t.Errorf("StitchOptions %s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	implCases := []struct {
+		name string
+		o    ImplementOptions
+		ok   bool
+	}{
+		{"zero", ImplementOptions{}, true},
+		{"full", ImplementOptions{Workers: 2, Strategy: SearchForceBisect, ProbeWorkers: 2,
+			Check: CheckFull}, true},
+		{"negative-workers", ImplementOptions{Workers: -1}, false},
+		{"negative-probes", ImplementOptions{ProbeWorkers: -1}, false},
+		{"bad-strategy", ImplementOptions{Strategy: SearchChoice(42)}, false},
+		{"bad-check", ImplementOptions{Check: CheckLevel(-1)}, false},
+	}
+	for _, tc := range implCases {
+		if err := tc.o.Validate(); (err == nil) != tc.ok {
+			t.Errorf("ImplementOptions %s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestCompileValidatesOptions: bad options must fail Compile and RunCNV
+// before any implementation work, with the Validate() message.
+func TestCompileValidatesOptions(t *testing.T) {
+	f, _ := NewFlow("xc7z020")
+	f.SetSearch(0.9, 0.02, 3.0)
+	if _, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Stitch: StitchOptions{Backend: "bogus"}}); err == nil {
+		t.Error("Compile accepted an unknown stitch backend")
+	}
+	if _, err := f.Compile(smallDesign(120), MinSweepCF(),
+		CompileOptions{Implement: ImplementOptions{Workers: -1}}); err == nil {
+		t.Error("Compile accepted negative Workers")
+	}
+	if _, err := f.RunCNV(MinSweepCF(),
+		CNVOptions{Stitch: StitchOptions{Iterations: -5}}); err == nil {
+		t.Error("RunCNV accepted a negative iteration budget")
+	}
+}
+
 // TestRecorderDoesNotPerturbResults: attaching a recorder must leave
 // every numeric output bit-identical — observability observes, it never
 // feeds back. Also checks the expected span names show up.

@@ -57,6 +57,13 @@ GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToRe
 echo "==> stitch backend oracle audits (-check full)" >&2
 go test -run 'TestCompileBackendsAuditClean|TestRunCNVHybridFullAudit|TestLegalizedPlacementsPassOracle' . ./internal/stitch/
 
+# Daemon smoke: build the real macroflowd binary under -race, start it
+# on a random port, submit a compile over HTTP, assert the result is
+# byte-identical to the in-process flow, SIGTERM, and require a clean
+# drain (see TestDaemonBinarySmoke).
+echo "==> macroflowd daemon smoke (-race, SIGTERM drain)" >&2
+MACROFLOWD_SMOKE=1 go test -race -count=1 -run '^TestDaemonBinarySmoke$' ./cmd/macroflowd/
+
 echo "==> go test -bench . -benchtime 1x (smoke)" >&2
 go test -run '^$' -bench . -benchtime 1x .
 

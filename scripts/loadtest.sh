@@ -1,0 +1,58 @@
+#!/bin/sh
+# Snapshot macroflowd's service throughput into BENCH_4.json: build the
+# daemon and the loadtest harness, start the daemon on a random port
+# with a throwaway persistent cache, push a concurrent job mix through
+# the api/v1 client, then SIGTERM and verify a clean drain.
+#
+#   scripts/loadtest.sh                       # 64 jobs, 8 submitters, 4 designs
+#   JOBS=256 CONCURRENCY=16 scripts/loadtest.sh
+#   OUT=/tmp/snap.json scripts/loadtest.sh    # write elsewhere
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="${JOBS:-64}"
+concurrency="${CONCURRENCY:-8}"
+unique="${UNIQUE:-4}"
+iterations="${ITERATIONS:-2000}"
+workers="${WORKERS:-4}"
+out="${OUT:-BENCH_4.json}"
+
+bindir="$(mktemp -d)"
+cachedir="$(mktemp -d)"
+logfile="${bindir}/macroflowd.log"
+trap 'kill "${daemon_pid}" 2>/dev/null || true; rm -rf "${bindir}" "${cachedir}"' EXIT
+
+echo "==> building macroflowd and loadtest" >&2
+go build -o "${bindir}/macroflowd" ./cmd/macroflowd
+go build -o "${bindir}/loadtest" ./cmd/macroflowd/loadtest
+
+echo "==> starting macroflowd (workers=${workers}, temp cache)" >&2
+"${bindir}/macroflowd" -addr 127.0.0.1:0 -workers "${workers}" \
+	-queue "$((jobs + concurrency))" -cache "${cachedir}" 2>"${logfile}" &
+daemon_pid=$!
+
+# The daemon logs "listening on <addr>" once the socket is up.
+addr=""
+for _ in $(seq 1 50); do
+	addr="$(sed -n 's/^macroflowd: listening on //p' "${logfile}")"
+	[ -n "${addr}" ] && break
+	kill -0 "${daemon_pid}" 2>/dev/null || { cat "${logfile}" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "${addr}" ] || { echo "daemon never reported its address" >&2; cat "${logfile}" >&2; exit 1; }
+
+echo "==> loadtest against ${addr}: ${jobs} jobs, ${concurrency} submitters, ${unique} unique designs" >&2
+"${bindir}/loadtest" -addr "${addr}" -jobs "${jobs}" -concurrency "${concurrency}" \
+	-unique "${unique}" -iterations "${iterations}" -out "${out}"
+
+echo "==> draining (SIGTERM)" >&2
+kill -TERM "${daemon_pid}"
+wait "${daemon_pid}"
+grep -q "drained cleanly" "${logfile}" || {
+	echo "daemon did not drain cleanly:" >&2
+	cat "${logfile}" >&2
+	exit 1
+}
+
+echo "loadtest: snapshot written to ${out}" >&2

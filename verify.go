@@ -43,6 +43,16 @@ func (l CheckLevel) String() string {
 	return "off"
 }
 
+// Validate rejects levels outside the declared range (a CheckLevel
+// forged by casting, or decoded from an untrusted source).
+func (l CheckLevel) Validate() error {
+	switch l {
+	case CheckOff, CheckSampled, CheckFull:
+		return nil
+	}
+	return fmt.Errorf("macroflow: invalid check level %d (want CheckOff, CheckSampled or CheckFull)", int(l))
+}
+
 // ParseCheckLevel maps the flag spellings "off", "sampled" and "full"
 // onto a CheckLevel.
 func ParseCheckLevel(s string) (CheckLevel, error) {
