@@ -355,6 +355,51 @@ type ServerStats struct {
 
 	// Audit summarizes the continuous background oracle audits.
 	Audit AuditStats `json:"audit"`
+
+	// Telemetry is the service-telemetry snapshot (queue depth, worker
+	// utilization, latency quantiles, flight recorder state).
+	Telemetry *TelemetryStats `json:"telemetry,omitempty"`
+}
+
+// LatencySummary condenses one latency histogram: sample count, the
+// interpolated p50/p95/p99 quantiles and the observed maximum, all in
+// milliseconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// TelemetryStats is the service-telemetry section of GET /v1/stats —
+// the same data GET /metrics exposes in Prometheus text, condensed for
+// JSON consumers. Added within v1 (omitempty on the parent), so old
+// clients are unaffected.
+type TelemetryStats struct {
+	// UptimeMs is the server's age in milliseconds.
+	UptimeMs int64 `json:"uptimeMs"`
+	// QueueDepth / QueueDepthPeak are the current and high-water queued
+	// job counts.
+	QueueDepth     int `json:"queueDepth"`
+	QueueDepthPeak int `json:"queueDepthPeak"`
+	// WorkersBusy is the number of workers currently running a job.
+	WorkersBusy int `json:"workersBusy"`
+	// SLOMs echoes the configured per-job latency objective (0 = none);
+	// SLOBreaches counts jobs that missed it or finished with oracle
+	// violations.
+	SLOMs       int64 `json:"sloMs,omitempty"`
+	SLOBreaches int64 `json:"sloBreaches"`
+	// FlightSpans is the number of spans currently buffered in the
+	// flight recorder ring; FlightDumps counts anomaly trace dumps
+	// written so far.
+	FlightSpans int   `json:"flightSpans"`
+	FlightDumps int64 `json:"flightDumps"`
+	// JobLatency summarizes submit→finish latency across finished jobs;
+	// Stages breaks compile time down by flow stage (synth, place,
+	// mincf, stitch, oracle).
+	JobLatency LatencySummary            `json:"jobLatency"`
+	Stages     map[string]LatencySummary `json:"stages,omitempty"`
 }
 
 // AuditStats summarizes the daemon's background -check sampled audits.

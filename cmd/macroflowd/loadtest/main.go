@@ -1,6 +1,10 @@
 // Command loadtest drives a running macroflowd with concurrent compile
 // jobs through the api/v1 client and reports a throughput/latency
-// snapshot as JSON (scripts/loadtest.sh wraps it into BENCH_4.json).
+// snapshot as JSON (scripts/loadtest.sh wraps it into BENCH_5.json).
+// After the run it scrapes the daemon's GET /metrics exposition and
+// folds the server-side view — job/stage latency quantiles and the
+// queue-depth high-water mark — into the same report, so client-side
+// and daemon-side latency can be compared in one artifact.
 //
 // The -unique flag controls how many distinct designs the job mix
 // cycles through: 1 makes every job identical (the dedup stress case —
@@ -16,13 +20,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	apiv1 "macroflow/api/v1"
+	"macroflow/internal/obs"
 )
 
 // report is the snapshot printed to -out (or stdout).
@@ -35,9 +42,10 @@ type report struct {
 	WallSeconds float64 `json:"wallSeconds"`
 	JobsPerSec  float64 `json:"jobsPerSec"`
 
-	// Latency is submit→done in milliseconds, over successful jobs.
+	// Latency is submit→done in milliseconds, over successful jobs,
+	// as observed by the client (includes queue wait and polling).
 	LatencyMsP50 float64 `json:"latencyMsP50"`
-	LatencyMsP90 float64 `json:"latencyMsP90"`
+	LatencyMsP95 float64 `json:"latencyMsP95"`
 	LatencyMsP99 float64 `json:"latencyMsP99"`
 	LatencyMsMax float64 `json:"latencyMsMax"`
 
@@ -49,6 +57,67 @@ type report struct {
 	// the shared cache's dedup breakdown (misses = fresh searches;
 	// memHits + singleflightHits = work the dedup layers absorbed).
 	Server *apiv1.ServerStats `json:"server,omitempty"`
+
+	// Metrics is the daemon-side latency view scraped from GET /metrics
+	// after the run.
+	Metrics *metricsSnapshot `json:"metrics,omitempty"`
+}
+
+// metricsSnapshot condenses the /metrics scrape: the daemon's own
+// submit→finish latency quantiles (no polling skew), the queue's
+// high-water mark, and each flow stage's p95.
+type metricsSnapshot struct {
+	QueueDepthPeak    float64            `json:"queueDepthPeak"`
+	JobLatencyMsP50   float64            `json:"jobLatencyMsP50"`
+	JobLatencyMsP95   float64            `json:"jobLatencyMsP95"`
+	JobLatencyMsP99   float64            `json:"jobLatencyMsP99"`
+	StageLatencyMsP95 map[string]float64 `json:"stageLatencyMsP95,omitempty"`
+}
+
+// scrapeMetrics pulls GET /metrics, validates it as Prometheus text
+// with the same strict parser CI uses, and extracts the snapshot.
+func scrapeMetrics(ctx context.Context, addr string) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := obs.ParsePrometheusText(data)
+	if err != nil {
+		return nil, fmt.Errorf("invalid Prometheus exposition: %w", err)
+	}
+	snap := &metricsSnapshot{}
+	for _, s := range samples {
+		switch s.Name {
+		case "macroflowd_queue_depth_peak":
+			snap.QueueDepthPeak = s.Value
+		case "macroflowd_job_latency_ms_p50":
+			snap.JobLatencyMsP50 = s.Value
+		case "macroflowd_job_latency_ms_p95":
+			snap.JobLatencyMsP95 = s.Value
+		case "macroflowd_job_latency_ms_p99":
+			snap.JobLatencyMsP99 = s.Value
+		case "macroflowd_stage_latency_ms_p95":
+			if stage := s.Label("stage"); stage != "" {
+				if snap.StageLatencyMsP95 == nil {
+					snap.StageLatencyMsP95 = make(map[string]float64)
+				}
+				snap.StageLatencyMsP95[stage] = s.Value
+			}
+		}
+	}
+	return snap, nil
 }
 
 // jobSpec builds the i-th job of the mix: designs cycle over `unique`
@@ -166,7 +235,7 @@ func main() {
 		rep.JobsPerSec = float64(len(latencies)) / wall.Seconds()
 	}
 	rep.LatencyMsP50 = percentile(latencies, 0.50)
-	rep.LatencyMsP90 = percentile(latencies, 0.90)
+	rep.LatencyMsP95 = percentile(latencies, 0.95)
 	rep.LatencyMsP99 = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		rep.LatencyMsMax = latencies[n-1]
@@ -175,6 +244,11 @@ func main() {
 		rep.Server = st
 	} else {
 		log.Printf("stats: %v", err)
+	}
+	if snap, err := scrapeMetrics(ctx, *addr); err == nil {
+		rep.Metrics = snap
+	} else {
+		log.Printf("metrics: %v", err)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -8,6 +8,16 @@
 // continuous background oracle audits, and graceful drain on SIGTERM
 // (stop admitting, finish every accepted job, flush cache stats).
 //
+// The service telemetry plane is always on: GET /metrics serves the
+// registry as Prometheus text (queue depth and wait, worker
+// utilization, per-stage latency histograms with p50/p95/p99, cache
+// hit ratios, solver health), and a bounded flight recorder keeps the
+// last completed spans across all jobs in memory — a job missing the
+// -slo-ms objective or failing an oracle check dumps the ring to a
+// Chrome trace file in -flight-dir (GET /v1/debug/flightrecorder
+// serves the same snapshot on demand). -debug-addr adds net/http/pprof
+// on a separate listener.
+//
 //	macroflowd -addr 127.0.0.1:8080 -workers 4 -cache /var/cache/macroflow
 //	curl -s localhost:8080/v1/jobs -d '{"design":{"builtin":"cnvW1A1"}}'
 package main
@@ -18,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +48,7 @@ func main() {
 	cacheDir := cliflags.AddCache(flag.CommandLine, "")
 	estimatorPath := flag.String("estimator", "", "estimator model file (macroflow.SaveEstimator format) served for mode \"estimator\"")
 	auditEvery := flag.Duration("audit-interval", 0, "interval between background -check sampled oracle audits (0 = off)")
+	tel := cliflags.AddTelemetry(flag.CommandLine)
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -44,6 +56,12 @@ func main() {
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		AuditEvery: *auditEvery,
+		FlightSize: tel.FlightSize,
+		SLOMs:      tel.SLOMs,
+		FlightDir:  tel.FlightDir,
+	}
+	if tel.FlightSize == 0 {
+		cfg.FlightSize = -1 // flag 0 = off; serverConfig 0 = default-on
 	}
 	if *cacheDir != "" {
 		cache, err := macroflow.NewPersistentBlockCache(*cacheDir)
@@ -69,6 +87,25 @@ func main() {
 
 	s := newServer(cfg)
 	s.start()
+
+	if tel.DebugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", tel.DebugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof debug server on %s", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

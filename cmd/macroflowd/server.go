@@ -28,6 +28,14 @@ type serverConfig struct {
 	Cache      *macroflow.BlockCache
 	Estimator  *macroflow.Estimator
 	AuditEvery time.Duration
+	// FlightSize is the flight recorder's span ring capacity: 0 selects
+	// the default (always-on), negative disables the ring.
+	FlightSize int
+	// SLOMs is the per-job submit→finish latency objective in
+	// milliseconds; a breach dumps the flight ring (0 = no objective).
+	SLOMs int64
+	// FlightDir is where anomaly trace dumps land ("" = cwd).
+	FlightDir string
 	// Logf defaults to log.Printf; tests silence it.
 	Logf func(format string, args ...any)
 }
@@ -37,6 +45,7 @@ type serverConfig struct {
 // persistent implcache layer) and one loaded estimator.
 type server struct {
 	cfg serverConfig
+	tel *telemetry
 
 	mu       sync.Mutex
 	cond     *sync.Cond // queue activity, job completion, drain
@@ -78,6 +87,7 @@ func newServer(cfg serverConfig) *server {
 		jobs:    make(map[string]*job),
 		drainCh: make(chan struct{}),
 	}
+	s.tel = newTelemetry(s.cfg)
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -267,12 +277,17 @@ func (s *server) next() *job {
 }
 
 func (s *server) run(j *job) {
+	s.tel.noteDequeued(j, time.Now().UnixMilli())
 	j.setState(apiv1.JobRunning)
 
 	// Per-job recorder with the span→event bridge: every finished obs
-	// span streams onto the job's JSONL feed the moment it ends.
+	// span streams onto the job's JSONL feed the moment it ends. The
+	// telemetry plane taps the same sink — stage latency histograms and
+	// the flight ring see each span first, rebased onto the service
+	// epoch so cross-job dumps form one timeline.
 	rec := macroflow.NewRecorder()
-	rec.SetSink(func(sr obs.SpanRecord) {
+	base := time.Since(s.tel.epoch)
+	rec.SetSink(s.tel.jobSink(j.id, base, func(sr obs.SpanRecord) {
 		ev := apiv1.Event{
 			Type:  "span",
 			Name:  sr.Name,
@@ -286,7 +301,7 @@ func (s *server) run(j *job) {
 			}
 		}
 		j.emit(ev)
-	})
+	}))
 	progress := func(chain, iter int, cost float64) {
 		j.emit(apiv1.Event{
 			Type: "progress", Name: "stitch",
@@ -310,12 +325,19 @@ func (s *server) run(j *job) {
 	s.running--
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	state := apiv1.JobDone
 	if jerr != nil {
 		s.cfg.Logf("job %s failed: %s", j.id, jerr.Message)
-		j.setState(apiv1.JobFailed)
-	} else {
-		j.setState(apiv1.JobDone)
+		state = apiv1.JobFailed
 	}
+	// Fold the job recorder's cache/solver counters and gauges into the
+	// service registry, then run the anomaly trigger: an SLO overrun or
+	// an oracle violation snapshots the flight ring to disk. This runs
+	// before the state flip — the terminal state is the signal clients
+	// poll on, so the dump file must exist by the time they see it.
+	s.tel.absorb(rec)
+	s.tel.noteFinished(j, state, rec.CounterValue("oracle.violations"))
+	j.setState(state)
 }
 
 // compile executes one request against the shared warm state. The
@@ -480,9 +502,13 @@ func (s *server) runAudit() {
 		s.cfg.Logf("audit: compile: %v", err)
 		return
 	}
-	if res.Verify != nil && len(res.Verify.Violations) > 0 {
-		for _, v := range res.Verify.Violations {
-			s.cfg.Logf("audit violation: %s %s: %s", v.Checker, v.Subject, v.Detail)
+	if res.Verify != nil {
+		s.tel.rec.Add("macroflowd.audit_checks_total", int64(res.Verify.Checks))
+		if n := len(res.Verify.Violations); n > 0 {
+			s.tel.rec.Add("macroflowd.audit_violations_total", int64(n))
+			for _, v := range res.Verify.Violations {
+				s.cfg.Logf("audit violation: %s %s: %s", v.Checker, v.Subject, v.Detail)
+			}
 		}
 	}
 }
@@ -510,6 +536,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/debug/flightrecorder", s.handleFlightDump)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -545,12 +573,12 @@ func writeError(w http.ResponseWriter, e *apiv1.Error) {
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := apiv1.DecodeRequest(r.Body)
 	if err != nil {
-		s.reject()
+		s.reject("invalid")
 		writeError(w, asAPIError(err))
 		return
 	}
 	if aerr := s.checkRequest(req); aerr != nil {
-		s.reject()
+		s.reject("invalid")
 		writeError(w, aerr)
 		return
 	}
@@ -560,12 +588,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.rejected++
 		s.mu.Unlock()
+		s.tel.noteRejected("draining")
 		writeError(w, &apiv1.Error{Code: apiv1.ErrDraining, Message: "server is draining"})
 		return
 	}
 	if s.queue.Len() >= s.cfg.QueueCap {
 		s.rejected++
 		s.mu.Unlock()
+		s.tel.noteRejected("queue_full")
 		writeError(w, &apiv1.Error{Code: apiv1.ErrQueueFull,
 			Message: fmt.Sprintf("compile queue is full (%d jobs)", s.cfg.QueueCap)})
 		return
@@ -585,16 +615,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	heap.Push(&s.queue, j)
 	s.submitted++
 	pos := s.queue.ahead(j)
+	depth := s.queue.Len()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.tel.noteQueued(depth)
 
 	writeJSON(w, http.StatusAccepted, j.status(pos))
 }
 
-func (s *server) reject() {
+func (s *server) reject(reason string) {
 	s.mu.Lock()
 	s.rejected++
 	s.mu.Unlock()
+	s.tel.noteRejected(reason)
 }
 
 // lookup finds a job and its queue position.
@@ -665,6 +698,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	s.canceled++
 	s.mu.Unlock()
 	j.setState(apiv1.JobCanceled)
+	s.tel.noteFinished(j, apiv1.JobCanceled, 0)
 	writeJSON(w, http.StatusOK, j.status(0))
 }
 
@@ -763,6 +797,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Audit:               s.audit,
 	}
 	s.mu.Unlock()
+	st.Telemetry = s.telemetryStats()
 	writeJSON(w, http.StatusOK, st)
 }
 

@@ -1,9 +1,11 @@
 // Package cliflags centralizes the shared command-line surface of the
 // macroflow commands (experiments, rwflow, datasetgen, macroflowd):
 // the observability pair -trace/-metrics, the persistent cache -cache,
-// the search -strategy, the stitcher -stitch-backend/-stitch-chains
-// and the oracle -check all register through one helper, so spellings,
-// defaults and parse errors cannot drift between binaries.
+// the search -strategy, the stitcher -stitch-backend/-stitch-chains,
+// the oracle -check and the service-telemetry set
+// -flight-recorder/-slo-ms/-flight-dir/-debug-addr all register through
+// one helper, so spellings, defaults and parse errors cannot drift
+// between binaries.
 //
 // Every Add helper takes an optional usage override: commands whose
 // historic -help text carries extra context (e.g. experiments' -cache
@@ -19,6 +21,7 @@ import (
 	"log"
 
 	"macroflow"
+	"macroflow/internal/obs"
 )
 
 // Canonical usage strings (the spelling new commands get for "").
@@ -131,6 +134,38 @@ func AddStitch(fs *flag.FlagSet, chainsUsageOverride string) *Stitch {
 	fs.IntVar(&s.Chains, "stitch-chains", 0, u)
 	fs.StringVar(&s.Backend, "stitch-backend", "anneal", backendUsage)
 	return s
+}
+
+// Telemetry holds the service-telemetry flags of long-running daemons:
+// the flight recorder ring size, the per-job latency SLO that triggers
+// anomaly trace dumps, the directory those dumps land in, and the
+// optional pprof debug listener.
+type Telemetry struct {
+	// FlightSize is the flight recorder's span ring capacity; 0 disables
+	// the ring (and with it anomaly dumps).
+	FlightSize int
+	// SLOMs is the per-job submit→finish latency objective in
+	// milliseconds; a job exceeding it dumps the flight ring. 0 = none.
+	SLOMs int64
+	// FlightDir is where anomaly trace dumps are written.
+	FlightDir string
+	// DebugAddr is the net/http/pprof listen address ("" = off).
+	DebugAddr string
+}
+
+// AddTelemetry registers -flight-recorder, -slo-ms, -flight-dir and
+// -debug-addr on fs.
+func AddTelemetry(fs *flag.FlagSet) *Telemetry {
+	t := &Telemetry{}
+	fs.IntVar(&t.FlightSize, "flight-recorder", obs.DefaultFlightSize,
+		"flight recorder ring capacity in spans (0 disables the ring and anomaly dumps)")
+	fs.Int64Var(&t.SLOMs, "slo-ms", 0,
+		"per-job latency objective in ms; a breach (or an oracle violation) dumps the flight recorder (0 = off)")
+	fs.StringVar(&t.FlightDir, "flight-dir", ".",
+		"directory for anomaly-triggered flight recorder trace dumps")
+	fs.StringVar(&t.DebugAddr, "debug-addr", "",
+		"net/http/pprof debug listen address (empty = off)")
+	return t
 }
 
 // Check holds the -check flag.

@@ -241,10 +241,6 @@ type chromeEvent struct {
 // chains render side by side; zero-duration spans become instants. A
 // nil recorder writes an empty trace.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := []chromeEvent{
-		{Name: "process_name", Ph: "M", Pid: 1,
-			Args: map[string]any{"name": "macroflow"}},
-	}
 	var spans []SpanRecord
 	var laneNames map[int]string
 	if r != nil {
@@ -255,6 +251,17 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			laneNames[k] = v
 		}
 		r.mu.Unlock()
+	}
+	return writeChromeTrace(w, spans, laneNames)
+}
+
+// writeChromeTrace renders a span list as a trace_event document — the
+// shared body of Recorder.WriteChromeTrace and the flight recorder's
+// anomaly dumps.
+func writeChromeTrace(w io.Writer, spans []SpanRecord, laneNames map[int]string) error {
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "macroflow"}},
 	}
 	lanes := map[int]bool{}
 	for _, s := range spans {

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultFlightSize is the ring capacity NewFlightRecorder uses for
+// size <= 0.
+const DefaultFlightSize = 4096
+
+// FlightRecorder is an always-on bounded ring buffer of completed
+// spans: a service feeds every finished SpanRecord into it (typically
+// from Recorder.SetSink) and, when something goes wrong — a job blows
+// its latency SLO, the oracle reports a violation — snapshots the ring
+// into a Chrome-trace dump, recovering the recent execution timeline
+// of a long-running process after the fact. Recording is one mutex
+// acquisition and one slot copy; there is no per-span allocation once
+// the ring is warm. All methods are nil-safe, so a disabled flight
+// recorder costs a nil check.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []SpanRecord // fixed capacity ring
+	next  int          // write cursor once full
+	total int64
+}
+
+// NewFlightRecorder returns a ring holding the last size spans
+// (DefaultFlightSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{buf: make([]SpanRecord, 0, size)}
+}
+
+// Record appends one completed span, overwriting the oldest once the
+// ring is full.
+func (f *FlightRecorder) Record(sr SpanRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, sr)
+	} else {
+		f.buf[f.next] = sr
+		f.next++
+		if f.next == len(f.buf) {
+			f.next = 0
+		}
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot copies the ring's contents oldest-first. The order is the
+// recording order, so repeated snapshots of the same recorded sequence
+// are identical regardless of how many times the ring wrapped.
+func (f *FlightRecorder) Snapshot() []SpanRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SpanRecord, 0, len(f.buf))
+	if len(f.buf) == cap(f.buf) {
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = append(out, f.buf...)
+	}
+	return out
+}
+
+// Len returns the number of spans currently held; Size the ring
+// capacity; Total the number of spans ever recorded (Total - Len have
+// been overwritten).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Size returns the ring capacity (0 for a nil recorder).
+func (f *FlightRecorder) Size() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.buf)
+}
+
+// Total returns the number of spans ever recorded.
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// WriteChromeTrace dumps the ring as Chrome trace_event JSON, sorted
+// by span start time — the anomaly artifact Perfetto loads. A nil or
+// empty ring writes a valid empty trace.
+func (f *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	spans := f.Snapshot()
+	sortSpans(spans)
+	return writeChromeTrace(w, spans, nil)
+}

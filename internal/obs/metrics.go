@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -101,6 +102,146 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 }
 
+// DefaultLatencyBuckets are the BucketHist bounds used when none are
+// given: a roughly-logarithmic millisecond ladder from 1ms to 30s,
+// sized for service latencies (queue waits, stage and job durations).
+var DefaultLatencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// BucketHist is a fixed-bucket histogram: observations land in the
+// first bucket whose upper bound is >= the value (with an implicit
+// +Inf overflow bucket), one atomic add per observation — cheap enough
+// for per-span recording on a service hot path. Unlike the summary
+// Histogram it supports quantile estimation and Prometheus histogram
+// exposition. All methods are nil-safe.
+type BucketHist struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewBucketHist returns a histogram over the given ascending upper
+// bounds (DefaultLatencyBuckets when none are given).
+func NewBucketHist(bounds []float64) *BucketHist {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	return &BucketHist{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *BucketHist) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	first := h.count.Add(1) == 1
+	addFloat(&h.sumBits, v)
+	casFloat(&h.minBits, v, first, func(cur float64) bool { return v < cur })
+	casFloat(&h.maxBits, v, first, func(cur float64) bool { return v > cur })
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// casFloat atomically replaces the stored float when better reports the
+// candidate beats the current value (or this is the first observation).
+func casFloat(bits *atomic.Uint64, v float64, first bool, better func(float64) bool) {
+	for {
+		old := bits.Load()
+		if !first && !better(math.Float64frombits(old)) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+		first = false
+	}
+}
+
+// BucketSnapshot is a point-in-time copy of a BucketHist. Counts has
+// one entry per bound plus the +Inf overflow bucket; entries are
+// per-bucket (not cumulative).
+type BucketSnapshot struct {
+	Bounds        []float64
+	Counts        []int64
+	Count         int64
+	Sum, Min, Max float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent observers
+// may land between bucket and total reads; the drift is at most the
+// handful of in-flight observations, fine for monitoring.
+func (h *BucketHist) Snapshot() BucketSnapshot {
+	if h == nil {
+		return BucketSnapshot{}
+	}
+	s := BucketSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Min:    math.Float64frombits(h.minBits.Load()),
+		Max:    math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear
+// interpolation inside the bucket holding the target rank — the
+// standard fixed-bucket estimate, exact at bucket boundaries. The
+// overflow bucket interpolates toward the observed maximum, and the
+// result is clamped to [Min, Max], so estimates never exceed reality.
+func (s BucketSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := p * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		v := lo
+		if c > 0 && hi > lo {
+			v = lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		return math.Min(math.Max(v, s.Min), s.Max)
+	}
+	return s.Max
+}
+
+// Mean returns Sum/Count (0 for an empty snapshot).
+func (s BucketSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
 // Counter returns the named counter, creating it on first use. Returns
 // nil (a no-op counter) on a nil recorder.
 func (r *Recorder) Counter(name string) *Counter {
@@ -136,6 +277,64 @@ func (r *Recorder) Histogram(name string) *Histogram {
 	}
 	h, _ := r.hists.LoadOrStore(name, &Histogram{})
 	return h.(*Histogram)
+}
+
+// BucketHist returns the named fixed-bucket histogram, creating it on
+// first use with the given bounds (DefaultLatencyBuckets when nil).
+// The first creation wins the bounds; later calls return the existing
+// histogram regardless of the bounds argument.
+func (r *Recorder) BucketHist(name string, bounds []float64) *BucketHist {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.bucketHists.Load(name); ok {
+		return h.(*BucketHist)
+	}
+	h, _ := r.bucketHists.LoadOrStore(name, NewBucketHist(bounds))
+	return h.(*BucketHist)
+}
+
+// BucketHistValue returns the named bucket histogram's snapshot (the
+// zero snapshot if absent).
+func (r *Recorder) BucketHistValue(name string) BucketSnapshot {
+	if r == nil {
+		return BucketSnapshot{}
+	}
+	if h, ok := r.bucketHists.Load(name); ok {
+		return h.(*BucketHist).Snapshot()
+	}
+	return BucketSnapshot{}
+}
+
+// EachCounter calls fn for every registered counter in name order —
+// the public enumeration services use to mirror per-run counters into
+// a longer-lived registry.
+func (r *Recorder) EachCounter(fn func(name string, value int64)) {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counterList() {
+		fn(c.name, c.val)
+	}
+}
+
+// EachGauge calls fn for every gauge that has been set, in name order.
+func (r *Recorder) EachGauge(fn func(name string, value float64)) {
+	if r == nil {
+		return
+	}
+	var names []string
+	r.gauges.Range(func(k, v any) bool {
+		if v.(*Gauge).set.Load() {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	for _, n := range names {
+		v, _ := r.GaugeValue(n)
+		fn(n, v)
+	}
 }
 
 // Add increments the named counter (convenience for cold paths; hot

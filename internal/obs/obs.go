@@ -74,9 +74,10 @@ type Recorder struct {
 	laneNames map[int]string
 	sink      func(SpanRecord)
 
-	counters sync.Map // string -> *Counter
-	gauges   sync.Map // string -> *Gauge
-	hists    sync.Map // string -> *Histogram
+	counters    sync.Map // string -> *Counter
+	gauges      sync.Map // string -> *Gauge
+	hists       sync.Map // string -> *Histogram
+	bucketHists sync.Map // string -> *BucketHist
 }
 
 // New returns an empty recorder with its epoch at the current time.

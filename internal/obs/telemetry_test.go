@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketHistQuantiles checks bucket assignment and the
+// interpolated quantile estimates against hand-computed values.
+func TestBucketHistQuantiles(t *testing.T) {
+	h := NewBucketHist([]float64{10, 20, 50, 100})
+	// 100 samples uniform on (0,100]: k = 1..100.
+	for k := 1; k <= 100; k++ {
+		h.Observe(float64(k))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot count/min/max = %d/%g/%g", s.Count, s.Min, s.Max)
+	}
+	wantCounts := []int64{10, 10, 30, 50, 0} // (0,10] (10,20] (20,50] (50,100] (100,inf)
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: count %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %g, want 5050", s.Sum)
+	}
+	// The uniform distribution makes interpolation near-exact: the
+	// p-quantile of 1..100 is ~100p.
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 1}, {0.95, 95, 1}, {0.99, 99, 1}, {1.0, 100, 0},
+	} {
+		got := s.Quantile(tc.p)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g±%g", tc.p, got, tc.want, tc.tol)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %g, want 50.5", got)
+	}
+}
+
+// TestBucketHistOverflowBucket: samples above every bound land in the
+// +Inf bucket and quantiles interpolate toward the observed max, never
+// past it.
+func TestBucketHistOverflowBucket(t *testing.T) {
+	h := NewBucketHist([]float64{1})
+	h.Observe(5)
+	h.Observe(500)
+	s := h.Snapshot()
+	if s.Counts[1] != 2 {
+		t.Fatalf("overflow bucket count = %d, want 2", s.Counts[1])
+	}
+	if q := s.Quantile(0.99); q > s.Max {
+		t.Errorf("Quantile(0.99) = %g exceeds max %g", q, s.Max)
+	}
+}
+
+// TestBucketHistNilAndEmpty: nil histograms and empty snapshots are
+// total no-ops.
+func TestBucketHistNilAndEmpty(t *testing.T) {
+	var h *BucketHist
+	h.Observe(1)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("nil BucketHist must read as zero")
+	}
+	var r *Recorder
+	if r.BucketHist("x", nil) != nil {
+		t.Fatal("nil recorder must hand out a nil BucketHist")
+	}
+	if v := r.BucketHistValue("x"); v.Count != 0 {
+		t.Fatal("nil recorder BucketHistValue must be zero")
+	}
+}
+
+// TestBucketHistRegistry: first creation wins the bounds, later calls
+// share the instance, defaults apply for nil bounds.
+func TestBucketHistRegistry(t *testing.T) {
+	r := New()
+	a := r.BucketHist("lat", []float64{1, 2})
+	b := r.BucketHist("lat", []float64{99})
+	if a != b {
+		t.Fatal("same name must return the same histogram")
+	}
+	a.Observe(1.5)
+	if got := r.BucketHistValue("lat"); got.Count != 1 || got.Counts[1] != 1 {
+		t.Fatalf("registry snapshot = %+v", got)
+	}
+	d := r.BucketHist("def", nil)
+	if d.Snapshot().Bounds[0] != DefaultLatencyBuckets[0] {
+		t.Fatal("nil bounds must select DefaultLatencyBuckets")
+	}
+}
+
+// TestBucketHistConcurrent hammers one histogram from many goroutines;
+// totals must balance (run under -race in CI).
+func TestBucketHistConcurrent(t *testing.T) {
+	h := NewBucketHist([]float64{10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64((w*per + i) % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestWritePrometheusRoundTrip populates every metric kind — including
+// labeled registry names — and requires the exposition to pass the
+// strict parser with the expected samples present exactly once.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := New()
+	r.Add(`jobs_total{state="done"}`, 3)
+	r.Add(`jobs_total{state="failed"}`, 1)
+	r.Add("mincf.oracle_runs", 42)
+	r.SetGauge("queue_depth", 7)
+	r.Observe("probe_ms", 2.5) // summary histogram
+	r.Observe("probe_ms", 7.5)
+	bh := r.BucketHist(`stage_latency_ms{stage="synth"}`, []float64{1, 10})
+	bh.Observe(0.5)
+	bh.Observe(5)
+	bh.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheusText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	find := func(name string, labels map[string]string) *PromSample {
+		for i := range samples {
+			s := &samples[i]
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return s
+			}
+		}
+		t.Fatalf("sample %s%v missing from exposition:\n%s", name, labels, buf.String())
+		return nil
+	}
+	if s := find("jobs_total", map[string]string{"state": "done"}); s.Value != 3 {
+		t.Errorf("jobs_total{state=done} = %g", s.Value)
+	}
+	if s := find("mincf_oracle_runs", nil); s.Value != 42 {
+		t.Errorf("dotted counter must export sanitized: %g", s.Value)
+	}
+	if s := find("queue_depth", nil); s.Value != 7 {
+		t.Errorf("gauge = %g", s.Value)
+	}
+	if s := find("probe_ms_count", nil); s.Value != 2 {
+		t.Errorf("summary count = %g", s.Value)
+	}
+	if s := find("probe_ms_sum", nil); s.Value != 10 {
+		t.Errorf("summary sum = %g", s.Value)
+	}
+	// Classic histogram series: cumulative buckets, +Inf, and the
+	// computed quantile companions, all carrying the stage label.
+	lbl := func(le string) map[string]string {
+		return map[string]string{"stage": "synth", "le": le}
+	}
+	if s := find("stage_latency_ms_bucket", lbl("1")); s.Value != 1 {
+		t.Errorf("bucket le=1 = %g", s.Value)
+	}
+	if s := find("stage_latency_ms_bucket", lbl("10")); s.Value != 2 {
+		t.Errorf("bucket le=10 must be cumulative: %g", s.Value)
+	}
+	if s := find("stage_latency_ms_bucket", lbl("+Inf")); s.Value != 3 {
+		t.Errorf("bucket le=+Inf = %g", s.Value)
+	}
+	find("stage_latency_ms_count", map[string]string{"stage": "synth"})
+	find("stage_latency_ms_p50", map[string]string{"stage": "synth"})
+	find("stage_latency_ms_p95", map[string]string{"stage": "synth"})
+	find("stage_latency_ms_p99", map[string]string{"stage": "synth"})
+
+	// Exactly one TYPE line per family.
+	typeLines := map[string]int{}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("# TYPE ")) {
+			typeLines[string(line)]++
+		}
+	}
+	for l, n := range typeLines {
+		if n > 1 {
+			t.Errorf("duplicate TYPE line %q", l)
+		}
+	}
+	if r2 := (*Recorder)(nil); r2.WritePrometheus(&buf) != nil {
+		t.Error("nil recorder WritePrometheus must be a no-op")
+	}
+}
+
+// TestParsePrometheusRejects: the validator must fail on the classic
+// syntax mistakes.
+func TestParsePrometheusRejects(t *testing.T) {
+	bad := map[string]string{
+		"invalid name":      "1bad_name 3\n",
+		"bad label name":    `x{1l="v"} 3` + "\n",
+		"unquoted label":    `x{l=v} 3` + "\n",
+		"unterminated":      `x{l="v} 3` + "\n",
+		"bad escape":        `x{l="\q"} 3` + "\n",
+		"duplicate label":   `x{l="a",l="b"} 3` + "\n",
+		"bad value":         "x three\n",
+		"bad type":          "# TYPE x sideways\nx 3\n",
+		"duplicate TYPE":    "# TYPE x counter\n# TYPE x counter\nx 3\n",
+		"TYPE after sample": "x 3\n# TYPE x counter\n",
+		"bad timestamp":     "x 3 nineteen\n",
+	}
+	for name, text := range bad {
+		if _, err := ParsePrometheusText([]byte(text)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, text)
+		}
+	}
+	good := "# HELP x a help line\n# TYPE x counter\nx{l=\"a\\\"b\\\\c\\nd\"} 3 1700000000\n\nx 4\n"
+	samples, err := ParsePrometheusText([]byte(good))
+	if err != nil {
+		t.Fatalf("parser rejected valid text: %v", err)
+	}
+	if len(samples) != 2 || samples[0].Label("l") != "a\"b\\c\nd" {
+		t.Fatalf("parsed %+v", samples)
+	}
+}
+
+// TestFlightRecorderWraparound: the ring keeps exactly the last Size
+// spans in recording order across wraps, and Total keeps counting.
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		f.Record(SpanRecord{ID: int64(i + 1), Name: "s", Start: time.Duration(i) * time.Millisecond})
+	}
+	if f.Len() != 8 || f.Size() != 8 || f.Total() != 20 {
+		t.Fatalf("len/size/total = %d/%d/%d", f.Len(), f.Size(), f.Total())
+	}
+	snap := f.Snapshot()
+	for i, sr := range snap {
+		if want := int64(13 + i); sr.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (oldest-first)", i, sr.ID, want)
+		}
+	}
+}
+
+// TestFlightRecorderDumpDeterministic: two dumps of the same recorded
+// sequence are byte-identical and parse as a Chrome trace document.
+func TestFlightRecorderDumpDeterministic(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 11; i++ {
+		f.Record(SpanRecord{
+			ID:    int64(i + 1),
+			Name:  "span",
+			Start: time.Duration(i) * time.Millisecond,
+			Dur:   time.Millisecond,
+			Attrs: []Attr{Int("i", i)},
+		})
+	}
+	var a, b bytes.Buffer
+	if err := f.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("flight dumps of an unchanged ring must be byte-identical")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not valid trace JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 4 {
+		t.Fatalf("dump has %d duration events, want 4 (ring size)", spans)
+	}
+}
+
+// TestFlightRecorderNil: every method on a nil ring is a no-op, and a
+// nil ring still writes a valid empty trace.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(SpanRecord{ID: 1})
+	if f.Len() != 0 || f.Size() != 0 || f.Total() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil ring must read as empty")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil ring dump must still be valid JSON")
+	}
+}
+
+// TestSetSinkStormWithFlightRing: the -race storm the satellite task
+// asks for — many goroutines completing spans while the sink is
+// concurrently installed, swapped to a flight ring, and cleared. Every
+// span recorded while the ring sink was stable must land in the ring;
+// no count may be lost by the recorder itself.
+func TestSetSinkStormWithFlightRing(t *testing.T) {
+	r := New()
+	ring := NewFlightRecorder(64)
+	var delivered Counter
+
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	// Sink churner: install/clear/swap concurrently with span completion.
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				r.SetSink(func(sr SpanRecord) {
+					delivered.Add(1)
+					ring.Record(sr)
+				})
+			case 1:
+				r.SetSink(func(SpanRecord) { delivered.Add(1) })
+			case 2:
+				r.SetSink(nil)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := r.Start("storm", Int("w", w), Int("i", i))
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-churnDone
+
+	if got := len(r.Spans()); got != workers*per*2 {
+		t.Fatalf("recorder kept %d spans, want %d", got, workers*per*2)
+	}
+	// Post-storm: a stable ring sink must deliver every span.
+	before := ring.Total()
+	r.SetSink(func(sr SpanRecord) { ring.Record(sr) })
+	for i := 0; i < 100; i++ {
+		r.Start("tail").End()
+	}
+	if got := ring.Total() - before; got != 100 {
+		t.Fatalf("stable sink delivered %d spans, want 100", got)
+	}
+}

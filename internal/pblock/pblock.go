@@ -296,7 +296,19 @@ func MinCF(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, s Searc
 	}
 	sp.Set(obs.Float("cf", res.CF), obs.Int("tool_runs", res.ToolRuns))
 	sp.End()
+	recordProbes(s.Obs, res.ToolRuns)
 	return res, err
+}
+
+// recordProbes feeds the per-block probe count into the
+// mincf.probes_per_block histogram — the solver-health series a live
+// service watches to spot searches degrading (estimator drift, cache
+// misses, pathological modules). Cache-served searches (0 runs) are
+// excluded: the histogram measures search effort, not cache luck.
+func recordProbes(rec *obs.Recorder, runs int) {
+	if runs > 0 {
+		rec.Observe("mincf.probes_per_block", float64(runs))
+	}
 }
 
 func (st Strategy) name() string {
@@ -369,6 +381,7 @@ func FromEstimate(dev *fabric.Device, m *netlist.Module, rep place.ShapeReport, 
 	res, err := fromEstimate(dev, m, rep, est, s, cfg)
 	sp.Set(obs.Float("cf", res.CF), obs.Int("tool_runs", res.ToolRuns))
 	sp.End()
+	recordProbes(s.Obs, res.ToolRuns)
 	return res, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"macroflow/internal/fabric"
+	"macroflow/internal/obs"
 	"macroflow/internal/rtlgen"
 )
 
@@ -159,6 +160,68 @@ func TestBisectNoFitParity(t *testing.T) {
 	}
 	if !errors.Is(berr, ErrNoFit) {
 		t.Fatalf("bisect error %v, want ErrNoFit like linear", berr)
+	}
+}
+
+// TestProbesPerBlockHistogram checks the solver-health metric: every
+// observed MinCF / FromEstimate call that actually probed the tool
+// contributes one mincf.probes_per_block sample equal to its ToolRuns,
+// and cache-served searches (zero runs) contribute nothing.
+func TestProbesPerBlockHistogram(t *testing.T) {
+	dev := fabric.XC7Z020()
+	cfg := DefaultConfig()
+	rec := obs.New()
+	s := SearchConfig{Start: 0.5, Step: 0.02, Max: 3.0, Strategy: StrategyBisect, Obs: rec}
+
+	specs := sampleSpecs(4)
+	searched := 0
+	totalRuns := 0
+	for _, spec := range specs {
+		m, rep := module(t, spec)
+		r, err := MinCF(dev, m, rep, s, cfg)
+		if err != nil {
+			continue
+		}
+		searched++
+		totalRuns += r.ToolRuns
+	}
+	if searched == 0 {
+		t.Fatal("no module searched")
+	}
+	h := rec.HistogramValue("mincf.probes_per_block")
+	if h.Count != int64(searched) {
+		t.Errorf("probes_per_block count = %d, want %d (one sample per searched block)", h.Count, searched)
+	}
+	if h.Sum != float64(totalRuns) {
+		t.Errorf("probes_per_block sum = %g, want %d (total tool runs)", h.Sum, totalRuns)
+	}
+	if h.Min < 1 {
+		t.Errorf("probes_per_block min = %g, want >= 1 (zero-run searches are excluded)", h.Min)
+	}
+
+	// FromEstimate feeds the same histogram.
+	m, rep := module(t, specs[0])
+	before := rec.HistogramValue("mincf.probes_per_block").Count
+	if _, err := FromEstimate(dev, m, rep, 1.0, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if after := rec.HistogramValue("mincf.probes_per_block").Count; after != before+1 {
+		t.Errorf("FromEstimate added %d samples, want 1", after-before)
+	}
+
+	// A cache-served search performs zero runs and must not dilute the
+	// per-block probe distribution.
+	cs := s
+	cs.Cache = openCache(t, t.TempDir())
+	if _, err := MinCF(dev, m, rep, cs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before = rec.HistogramValue("mincf.probes_per_block").Count
+	if _, err := MinCF(dev, m, rep, cs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if after := rec.HistogramValue("mincf.probes_per_block").Count; after != before {
+		t.Errorf("cache-served search added %d probe samples, want 0", after-before)
 	}
 }
 

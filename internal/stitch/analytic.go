@@ -360,6 +360,12 @@ func (g *analytic) descend(rec *obs.Recorder, parent *obs.Span) {
 				obs.Float("grad_norm", g.gradNorm),
 				obs.Float("overflow", g.totalOverflow))
 			isp.End()
+			// Live convergence gauges: a service scraping mid-run sees
+			// the descent's current state, not just its final values —
+			// grad_norm refusing to fall or overflow plateauing is
+			// diagnosable without waiting for the job to finish.
+			rec.SetGauge("stitch.analytic.grad_norm", g.gradNorm)
+			rec.SetGauge("stitch.analytic.overflow", g.totalOverflow)
 		}
 	}
 	rec.Add("stitch.analytic.iters", int64(iters))

@@ -12,8 +12,11 @@ go vet ./...
 echo "==> go build ./..." >&2
 go build ./...
 
+# The full-flow suite under -race runs close to go test's 10-minute
+# default per-package timeout; an explicit budget keeps the gate from
+# flaking on loaded boxes without masking a real hang.
 echo "==> go test -race ./..." >&2
-go test -race ./...
+go test -race -timeout 30m ./...
 
 # Shuffled pass: the suite must not depend on test execution order.
 # A fixed seed keeps failures reproducible; bump it when hunting.
@@ -56,6 +59,12 @@ GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToRe
 # hybrid backend recounted end to end.
 echo "==> stitch backend oracle audits (-check full)" >&2
 go test -run 'TestCompileBackendsAuditClean|TestRunCNVHybridFullAudit|TestLegalizedPlacementsPassOracle' . ./internal/stitch/
+
+# Telemetry plane: boot an in-process daemon, run a job, and require
+# GET /metrics to parse as strict Prometheus text with the service
+# series present — plus the flight recorder's anomaly-dump path.
+echo "==> macroflowd telemetry plane (-race, /metrics exposition + flight recorder)" >&2
+go test -race -count=1 -run 'TestMetricsEndpoint|TestFlightRecorder' ./cmd/macroflowd/
 
 # Daemon smoke: build the real macroflowd binary under -race, start it
 # on a random port, submit a compile over HTTP, assert the result is

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Snapshot macroflowd's service throughput into BENCH_4.json: build the
+# Snapshot macroflowd's service throughput into BENCH_5.json: build the
 # daemon and the loadtest harness, start the daemon on a random port
 # with a throwaway persistent cache, push a concurrent job mix through
-# the api/v1 client, then SIGTERM and verify a clean drain.
+# the api/v1 client, then SIGTERM and verify a clean drain. The report
+# includes a /metrics scrape (daemon-side latency quantiles and the
+# queue-depth high-water mark) alongside the client-side percentiles.
 #
 #   scripts/loadtest.sh                       # 64 jobs, 8 submitters, 4 designs
 #   JOBS=256 CONCURRENCY=16 scripts/loadtest.sh
@@ -16,7 +18,7 @@ concurrency="${CONCURRENCY:-8}"
 unique="${UNIQUE:-4}"
 iterations="${ITERATIONS:-2000}"
 workers="${WORKERS:-4}"
-out="${OUT:-BENCH_4.json}"
+out="${OUT:-BENCH_5.json}"
 
 bindir="$(mktemp -d)"
 cachedir="$(mktemp -d)"

@@ -2,6 +2,8 @@ package macroflow
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"macroflow/internal/obs"
 	"macroflow/internal/oracle"
@@ -132,6 +134,9 @@ func (f *Flow) verifyBlocks(level CheckLevel, mode CFMode, search pblock.SearchC
 			}
 		}
 		oracle.CheckMinCF(f.dev, m, shape, blocks[ti].CF, below, s, f.cfg, vr)
+		if mode.kind == "estimator" && mode.estimator != nil {
+			recordEstimatorDrift(rec, mode.estimator.predict(shape), blocks[ti].CF)
+		}
 		if hits[ti].kind != hitMiss {
 			cached := pblock.SearchResult{CF: blocks[ti].CF, Impl: impl}
 			fresh, err := f.implementModule(m, shape, mode, s)
@@ -155,6 +160,31 @@ func verifyStitch(level CheckLevel, prob *stitch.Problem, sres *stitch.Result, v
 	oracle.CheckPlacement(prob, sres.Origins, vr)
 	oracle.CheckCost(prob, sres.Origins, sres.FinalCost, sres.Placed, sres.Unplaced, vr)
 	finishVerify(sp, rec, vr, beforeChecks, beforeViol)
+}
+
+// estimatorDriftBuckets are the cumulative |predicted − verified| CF
+// error bounds of the estimator.abs_err_bucket counters (the paper's
+// 0.02 grid step up to a 0.5 gross miss, plus the implicit +Inf).
+var estimatorDriftBuckets = []float64{0.02, 0.05, 0.1, 0.2, 0.5}
+
+// recordEstimatorDrift publishes one estimator-vs-oracle comparison:
+// whenever a -check audit verifies a block compiled in estimator mode,
+// the absolute error between the model's predicted CF and the
+// oracle-verified minimal CF lands in Prometheus-style cumulative
+// le-labeled counters (estimator.abs_err_bucket{le="..."}) plus an
+// estimator.abs_err summary. Scraped over time, the bucket ratios are
+// the estimator-drift signal the active-learning loop (ROADMAP item 5)
+// will retrain on: a growing high-le share means production traffic
+// has drifted from the training distribution.
+func recordEstimatorDrift(rec *Recorder, predicted, verified float64) {
+	err := math.Abs(predicted - verified)
+	for _, b := range estimatorDriftBuckets {
+		if err <= b+1e-9 {
+			rec.Add(fmt.Sprintf("estimator.abs_err_bucket{le=%q}", strconv.FormatFloat(b, 'g', -1, 64)), 1)
+		}
+	}
+	rec.Add(`estimator.abs_err_bucket{le="+Inf"}`, 1)
+	rec.Observe("estimator.abs_err", err)
 }
 
 // finishVerify publishes one verification pass's deltas to the obs

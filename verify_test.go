@@ -1,6 +1,7 @@
 package macroflow
 
 import (
+	"math"
 	"testing"
 
 	"macroflow/internal/oracle"
@@ -152,6 +153,78 @@ func TestChaosCorruptedCacheDetected(t *testing.T) {
 	}
 	if res.Verify.ByChecker(oracle.CheckerCache) == 0 && res.Verify.ByChecker(oracle.CheckerMinCF) == 0 {
 		t.Fatalf("violations attributed to the wrong checker:\n%s", res.Verify.String())
+	}
+}
+
+// TestRecordEstimatorDrift pins the bucket semantics of the drift
+// counters: cumulative Prometheus-style le buckets (every bound at or
+// above the error increments, +Inf always does) plus an abs_err summary.
+func TestRecordEstimatorDrift(t *testing.T) {
+	rec := NewRecorder()
+	recordEstimatorDrift(rec, 1.00, 1.03) // err 0.03: first bucket missed
+	recordEstimatorDrift(rec, 1.00, 1.00) // err 0: all buckets
+	recordEstimatorDrift(rec, 1.02, 1.00) // err 0.02: exact boundary counts
+	recordEstimatorDrift(rec, 2.00, 1.00) // err 1.0: only +Inf
+
+	want := map[string]int64{
+		`estimator.abs_err_bucket{le="0.02"}`: 2,
+		`estimator.abs_err_bucket{le="0.05"}`: 3,
+		`estimator.abs_err_bucket{le="0.1"}`:  3,
+		`estimator.abs_err_bucket{le="0.2"}`:  3,
+		`estimator.abs_err_bucket{le="0.5"}`:  3,
+		`estimator.abs_err_bucket{le="+Inf"}`: 4,
+	}
+	for name, n := range want {
+		if got := rec.CounterValue(name); got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
+	}
+	h := rec.HistogramValue("estimator.abs_err")
+	if h.Count != 4 {
+		t.Errorf("abs_err count = %d, want 4", h.Count)
+	}
+	if math.Abs(h.Sum-1.05) > 1e-9 {
+		t.Errorf("abs_err sum = %g, want 1.05", h.Sum)
+	}
+}
+
+// TestEstimatorDriftFromCheckAudit runs the end-to-end hook: a compile
+// in estimator mode under a -check audit must compare every audited
+// block's predicted CF against the oracle-verified one and populate the
+// drift counters; the same compile without the estimator records none.
+func TestEstimatorDriftFromCheckAudit(t *testing.T) {
+	f, est, _ := trainQuick(t, DecisionTree, FeaturesAdditional)
+	f.SetSearch(0.9, 0.02, 3.0)
+	d := verifySmallDesign(t)
+	rec := NewRecorder()
+	res, err := f.Compile(d, EstimatorCF(est), CompileOptions{
+		SkipStitch: true,
+		Implement:  ImplementOptions{Check: CheckFull, Obs: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify == nil || res.Verify.Checks == 0 {
+		t.Fatal("no verification ran")
+	}
+	audited := rec.CounterValue(`estimator.abs_err_bucket{le="+Inf"}`)
+	if audited != 3 {
+		t.Errorf("drift comparisons = %d, want one per audited block type (3)", audited)
+	}
+	if h := rec.HistogramValue("estimator.abs_err"); h.Count != audited {
+		t.Errorf("abs_err samples = %d, want %d", h.Count, audited)
+	}
+
+	// Sweep mode has no prediction to compare: no drift series.
+	rec2 := NewRecorder()
+	if _, err := f.Compile(d, MinSweepCF(), CompileOptions{
+		SkipStitch: true,
+		Implement:  ImplementOptions{Check: CheckFull, Obs: rec2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec2.CounterValue(`estimator.abs_err_bucket{le="+Inf"}`); n != 0 {
+		t.Errorf("sweep-mode compile recorded %d drift comparisons, want 0", n)
 	}
 }
 
