@@ -4,10 +4,15 @@
 //
 // The contract mirrors the library's structured options surface —
 // StitchParams maps onto macroflow.StitchOptions and ImplementParams
-// onto macroflow.ImplementOptions, field for field — and never the
-// deprecated flat aliases. Compatibility policy: within v1, fields are
-// only ever added (always with omitempty semantics on responses);
-// renames, removals or meaning changes require a new version prefix.
+// onto macroflow.ImplementOptions, field for field. The flat stitch
+// fields (iterations/chains/gdIterations) predate the per-backend
+// sub-objects and map onto the library's deprecated aliases; the
+// anneal/analytic/evo/portfolio sub-objects map onto the sub-structs
+// and win on conflict via the library's overlay. Compatibility policy:
+// within v1, fields are only ever added (always with omitempty
+// semantics on responses, as the sub-objects and the result's
+// portfolio report were); renames, removals or meaning changes require
+// a new version prefix.
 // Servers decode requests strictly (unknown fields are rejected, so a
 // typo'd option fails loudly instead of being silently ignored);
 // clients decode responses leniently (unknown fields are ignored, so
@@ -173,16 +178,50 @@ type SearchWindow struct {
 
 // StitchParams mirrors macroflow.StitchOptions (the structured surface;
 // recorder, progress callback and check level travel as wire-friendly
-// spellings).
+// spellings). The per-backend sub-objects (anneal/analytic/evo/
+// portfolio) mirror the library's sub-structs and were added within v1;
+// the flat iterations/chains/gdIterations fields predate them and map
+// onto the library's deprecated aliases, so old clients keep working —
+// conflicts resolve through the library's overlay (the sub-object
+// wins, with a one-shot warning on the server).
 type StitchParams struct {
-	Seed         int64  `json:"seed,omitempty"`
-	Iterations   int    `json:"iterations,omitempty"`
-	Chains       int    `json:"chains,omitempty"`
-	AdaptiveStop bool   `json:"adaptiveStop,omitempty"`
-	TraceEvery   int    `json:"traceEvery,omitempty"`
-	Backend      string `json:"backend,omitempty"`      // anneal (default), analytic, hybrid
-	GDIterations int    `json:"gdIterations,omitempty"` // analytic/hybrid gradient-descent budget
-	Check        string `json:"check,omitempty"`        // off (default), sampled, full
+	Seed         int64            `json:"seed,omitempty"`
+	Iterations   int              `json:"iterations,omitempty"`
+	Chains       int              `json:"chains,omitempty"`
+	AdaptiveStop bool             `json:"adaptiveStop,omitempty"`
+	TraceEvery   int              `json:"traceEvery,omitempty"`
+	Backend      string           `json:"backend,omitempty"`      // anneal (default), analytic, hybrid, evo, portfolio
+	GDIterations int              `json:"gdIterations,omitempty"` // analytic/hybrid gradient-descent budget
+	Check        string           `json:"check,omitempty"`        // off (default), sampled, full
+	Anneal       *AnnealParams    `json:"anneal,omitempty"`
+	Analytic     *AnalyticParams  `json:"analytic,omitempty"`
+	Evo          *EvoParams       `json:"evo,omitempty"`
+	Portfolio    *PortfolioParams `json:"portfolio,omitempty"`
+}
+
+// AnnealParams mirrors macroflow.AnnealOptions.
+type AnnealParams struct {
+	Chains     int     `json:"chains,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	TempLadder float64 `json:"tempLadder,omitempty"`
+}
+
+// AnalyticParams mirrors macroflow.AnalyticOptions.
+type AnalyticParams struct {
+	GDIterations int `json:"gdIterations,omitempty"`
+}
+
+// EvoParams mirrors macroflow.EvoOptions.
+type EvoParams struct {
+	Mu          int `json:"mu,omitempty"`
+	Lambda      int `json:"lambda,omitempty"`
+	Generations int `json:"generations,omitempty"`
+}
+
+// PortfolioParams mirrors macroflow.PortfolioOptions.
+type PortfolioParams struct {
+	Backends  []string `json:"backends,omitempty"`
+	Threshold float64  `json:"threshold,omitempty"`
 }
 
 // ImplementParams mirrors macroflow.ImplementOptions.
@@ -274,6 +313,27 @@ type StitchSummary struct {
 	Map             string        `json:"map,omitempty"`
 	Trace           []CostPoint   `json:"trace,omitempty"`
 	Chains          []ChainReport `json:"chains,omitempty"`
+	// Portfolio carries the cross-backend race telemetry of portfolio
+	// runs (absent otherwise). Added within v1.
+	Portfolio *PortfolioReport `json:"portfolio,omitempty"`
+}
+
+// PortfolioReport mirrors macroflow.PortfolioReport.
+type PortfolioReport struct {
+	Winner    int                `json:"winner"`
+	Threshold float64            `json:"threshold,omitempty"`
+	Entrants  []PortfolioEntrant `json:"entrants"`
+}
+
+// PortfolioEntrant mirrors macroflow.PortfolioEntrant: a ChainReport
+// (the entrant as a pseudo-chain) plus the racing outcome.
+type PortfolioEntrant struct {
+	ChainReport
+	Backend       string `json:"backend"`
+	Winner        bool   `json:"winner,omitempty"`
+	ThresholdIter int    `json:"thresholdIter"`
+	Iterations    int    `json:"iterations"`
+	Unplaced      int    `json:"unplaced,omitempty"`
 }
 
 // CostPoint mirrors macroflow.CostPoint.

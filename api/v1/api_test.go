@@ -33,7 +33,11 @@ func fullRequest() *CompileRequest {
 		Mode:   ModeSpec{Kind: "constant", CF: 1.5},
 		Search: &SearchWindow{Start: 0.9, Step: 0.02, Max: 2.5},
 		Stitch: StitchParams{Seed: 7, Iterations: 9000, Chains: 2, AdaptiveStop: true,
-			TraceEvery: 128, Backend: "hybrid", GDIterations: 64, Check: "sampled"},
+			TraceEvery: 128, Backend: "hybrid", GDIterations: 64, Check: "sampled",
+			Anneal:    &AnnealParams{Chains: 2, Iterations: 9000, TempLadder: 2.5},
+			Analytic:  &AnalyticParams{GDIterations: 64},
+			Evo:       &EvoParams{Mu: 2, Lambda: 8, Generations: 10},
+			Portfolio: &PortfolioParams{Backends: []string{"anneal", "evo"}, Threshold: 4000}},
 		Implement: ImplementParams{Workers: 2, Strategy: "bisect", ProbeWorkers: 2, Check: "off"},
 		Priority:  3,
 	}
@@ -67,6 +71,9 @@ func TestDecodeRequestRejectsUnknownFields(t *testing.T) {
 		{"top-level", `{"design":{"builtin":"cnvW1A1"},"iteratons":5}`},
 		{"nested-stitch", `{"design":{"builtin":"cnvW1A1"},"stitch":{"sede":7}}`},
 		{"nested-component", `{"design":{"blocks":[{"name":"b","components":[{"kind":"logic","lust":4}]}]}}`},
+		{"nested-anneal", `{"design":{"builtin":"cnvW1A1"},"stitch":{"anneal":{"chians":2}}}`},
+		{"nested-evo", `{"design":{"builtin":"cnvW1A1"},"stitch":{"evo":{"mu":2,"lamda":8}}}`},
+		{"nested-portfolio", `{"design":{"builtin":"cnvW1A1"},"stitch":{"portfolio":{"bakends":["anneal"]}}}`},
 		{"trailing-data", `{"design":{"builtin":"cnvW1A1"}} {"design":{"builtin":"cnvW1A1"}}`},
 		{"malformed", `{"design":`},
 	}
@@ -136,9 +143,22 @@ func TestParamsOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := macroflow.StitchOptions{Seed: 7, Iterations: 9000, Chains: 2, AdaptiveStop: true,
-		TraceEvery: 128, Backend: "hybrid", GDIterations: 64, Check: macroflow.CheckSampled}
+		TraceEvery: 128, Backend: "hybrid", GDIterations: 64, Check: macroflow.CheckSampled,
+		Anneal:    macroflow.AnnealOptions{Chains: 2, Iterations: 9000, TempLadder: 2.5},
+		Analytic:  macroflow.AnalyticOptions{GDIterations: 64},
+		Evo:       macroflow.EvoOptions{Mu: 2, Lambda: 8, Generations: 10},
+		Portfolio: macroflow.PortfolioOptions{Backends: []string{"anneal", "evo"}, Threshold: 4000}}
 	if !reflect.DeepEqual(so, want) {
 		t.Errorf("StitchParams.Options() = %+v, want %+v", so, want)
+	}
+	// Flat-only wire params map onto the deprecated aliases, leaving the
+	// sub-structs zero so the library overlay resolves them.
+	flat, err := (StitchParams{Seed: 3, Iterations: 500, Chains: 1, Backend: "anneal"}).Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Anneal != (macroflow.AnnealOptions{}) || flat.Evo != (macroflow.EvoOptions{}) {
+		t.Errorf("flat wire params populated sub-structs: %+v", flat)
 	}
 	if err := so.Validate(); err != nil {
 		t.Errorf("converted options failed the library's Validate: %v", err)
@@ -168,6 +188,48 @@ func TestParamsOptions(t *testing.T) {
 	}
 	if _, err := (ImplementParams{Strategy: "quantum"}).Options(); err == nil {
 		t.Error("bad strategy accepted")
+	}
+}
+
+// TestStitchSummaryPortfolio: a portfolio run's cross-backend report
+// must survive the library → wire mapping and a JSON round trip (the
+// additive-within-v1 portfolio object of the result envelope).
+func TestStitchSummaryPortfolio(t *testing.T) {
+	trace := []macroflow.CostPoint{{Iter: 256, Cost: 500}, {Iter: 512, Cost: 123.5}}
+	rep := &macroflow.StitchReport{
+		Backend: "portfolio", Placed: 10, FinalCost: 123.5, Trace: trace,
+		Portfolio: &macroflow.PortfolioReport{
+			Winner:    1,
+			Threshold: 4000,
+			Entrants: []macroflow.PortfolioEntrant{
+				{ChainReport: macroflow.ChainReport{Chain: 0, Moves: 100, FinalCost: 200, Trace: trace},
+					Backend: "anneal", ThresholdIter: -1, Iterations: 100, Unplaced: 1},
+				{ChainReport: macroflow.ChainReport{Chain: 1, Moves: 90, FinalCost: 123.5, Trace: trace},
+					Backend: "evo", Winner: true, ThresholdIter: 256, Iterations: 90},
+			},
+		},
+	}
+	sum := stitchSummary(rep)
+	if sum.Portfolio == nil || sum.Portfolio.Winner != 1 || len(sum.Portfolio.Entrants) != 2 {
+		t.Fatalf("wire portfolio = %+v", sum.Portfolio)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StitchSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, sum) {
+		t.Errorf("portfolio summary round trip diverged:\n got %+v\nwant %+v", &got, sum)
+	}
+	if got.Portfolio.Entrants[1].Backend != "evo" || !got.Portfolio.Entrants[1].Winner {
+		t.Errorf("winner entrant lost its identity: %+v", got.Portfolio.Entrants[1])
+	}
+	// Non-portfolio reports must not grow a portfolio object.
+	if s := stitchSummary(&macroflow.StitchReport{Backend: "anneal"}); s.Portfolio != nil {
+		t.Error("anneal summary attached a portfolio report")
 	}
 }
 

@@ -163,7 +163,7 @@ func (p StitchParams) Options() (macroflow.StitchOptions, error) {
 	if err != nil {
 		return macroflow.StitchOptions{}, &Error{Code: ErrInvalidOptions, Message: err.Error()}
 	}
-	return macroflow.StitchOptions{
+	o := macroflow.StitchOptions{
 		Seed:         p.Seed,
 		Iterations:   p.Iterations,
 		Chains:       p.Chains,
@@ -172,7 +172,31 @@ func (p StitchParams) Options() (macroflow.StitchOptions, error) {
 		Backend:      p.Backend,
 		GDIterations: p.GDIterations,
 		Check:        check,
-	}, nil
+	}
+	if p.Anneal != nil {
+		o.Anneal = macroflow.AnnealOptions{
+			Chains:     p.Anneal.Chains,
+			Iterations: p.Anneal.Iterations,
+			TempLadder: p.Anneal.TempLadder,
+		}
+	}
+	if p.Analytic != nil {
+		o.Analytic = macroflow.AnalyticOptions{GDIterations: p.Analytic.GDIterations}
+	}
+	if p.Evo != nil {
+		o.Evo = macroflow.EvoOptions{
+			Mu:          p.Evo.Mu,
+			Lambda:      p.Evo.Lambda,
+			Generations: p.Evo.Generations,
+		}
+	}
+	if p.Portfolio != nil {
+		o.Portfolio = macroflow.PortfolioOptions{
+			Backends:  append([]string(nil), p.Portfolio.Backends...),
+			Threshold: p.Portfolio.Threshold,
+		}
+	}
+	return o, nil
 }
 
 // Options converts the wire params into the structured
@@ -284,18 +308,39 @@ func stitchSummary(r *macroflow.StitchReport) *StitchSummary {
 		Trace:           costPoints(r.Trace),
 	}
 	for _, ch := range r.Chains {
-		out.Chains = append(out.Chains, ChainReport{
-			Chain:        ch.Chain,
-			InitTemp:     ch.InitTemp,
-			Moves:        ch.Moves,
-			Accepts:      ch.Accepts,
-			IllegalMoves: ch.IllegalMoves,
-			Exchanges:    ch.Exchanges,
-			FinalCost:    ch.FinalCost,
-			Trace:        costPoints(ch.Trace),
-		})
+		out.Chains = append(out.Chains, chainReport(ch))
+	}
+	if r.Portfolio != nil {
+		wp := &PortfolioReport{
+			Winner:    r.Portfolio.Winner,
+			Threshold: r.Portfolio.Threshold,
+		}
+		for _, e := range r.Portfolio.Entrants {
+			wp.Entrants = append(wp.Entrants, PortfolioEntrant{
+				ChainReport:   chainReport(e.ChainReport),
+				Backend:       e.Backend,
+				Winner:        e.Winner,
+				ThresholdIter: e.ThresholdIter,
+				Iterations:    e.Iterations,
+				Unplaced:      e.Unplaced,
+			})
+		}
+		out.Portfolio = wp
 	}
 	return out
+}
+
+func chainReport(ch macroflow.ChainReport) ChainReport {
+	return ChainReport{
+		Chain:        ch.Chain,
+		InitTemp:     ch.InitTemp,
+		Moves:        ch.Moves,
+		Accepts:      ch.Accepts,
+		IllegalMoves: ch.IllegalMoves,
+		Exchanges:    ch.Exchanges,
+		FinalCost:    ch.FinalCost,
+		Trace:        costPoints(ch.Trace),
+	}
 }
 
 func costPoints(trace []macroflow.CostPoint) []CostPoint {

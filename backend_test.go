@@ -22,7 +22,7 @@ func TestStitchBackendValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "backend") {
 		t.Errorf("RunCNV with a bad backend: err = %v, want backend error", err)
 	}
-	for _, ok := range []string{"", BackendAnneal, BackendAnalytic, BackendHybrid} {
+	for _, ok := range []string{"", BackendAnneal, BackendAnalytic, BackendHybrid, BackendEvo, BackendPortfolio} {
 		if err := (StitchOptions{Backend: ok}).Validate(); err != nil {
 			t.Errorf("validate(%q) = %v", ok, err)
 		}
@@ -35,7 +35,7 @@ func TestStitchBackendValidation(t *testing.T) {
 func TestCompileBackendsAuditClean(t *testing.T) {
 	f := verifyFlow(t)
 	d := verifySmallDesign(t)
-	for _, be := range []string{BackendAnneal, BackendAnalytic, BackendHybrid} {
+	for _, be := range []string{BackendAnneal, BackendAnalytic, BackendHybrid, BackendEvo, BackendPortfolio} {
 		res, err := f.Compile(d, MinSweepCF(), CompileOptions{
 			Stitch:    StitchOptions{Seed: 1, Iterations: 5000, Backend: be, Check: CheckFull},
 			Implement: ImplementOptions{Check: CheckFull},
@@ -52,11 +52,27 @@ func TestCompileBackendsAuditClean(t *testing.T) {
 		if res.Stitch.Backend != be {
 			t.Errorf("report backend %q, want %q", res.Stitch.Backend, be)
 		}
-		if be == BackendAnneal && res.Stitch.GDIters != 0 {
-			t.Errorf("anneal backend reports %d GD iterations", res.Stitch.GDIters)
+		// Only the analytic-seeded backends carry a gradient-descent
+		// budget; the move- and population-based ones must report zero.
+		// A portfolio report echoes its winner's, so either is legal there.
+		if usesGD := be == BackendAnalytic || be == BackendHybrid; be != BackendPortfolio {
+			if usesGD && res.Stitch.GDIters == 0 {
+				t.Errorf("backend %s does not echo its GD budget", be)
+			}
+			if !usesGD && res.Stitch.GDIters != 0 {
+				t.Errorf("backend %s reports %d GD iterations", be, res.Stitch.GDIters)
+			}
 		}
-		if be != BackendAnneal && res.Stitch.GDIters == 0 {
-			t.Errorf("backend %s does not echo its GD budget", be)
+		if be == BackendPortfolio {
+			pf := res.Stitch.Portfolio
+			if pf == nil || len(pf.Entrants) == 0 {
+				t.Fatalf("portfolio backend produced no PortfolioReport")
+			}
+			if pf.Winner < 0 || pf.Winner >= len(pf.Entrants) || !pf.Entrants[pf.Winner].Winner {
+				t.Errorf("portfolio winner index %d inconsistent with entrant flags", pf.Winner)
+			}
+		} else if res.Stitch.Portfolio != nil {
+			t.Errorf("backend %s attached a PortfolioReport", be)
 		}
 	}
 }

@@ -23,15 +23,10 @@ func constantMode(cf float64) macroflow.CFMode { return macroflow.ConstantCF(cf)
 func minSweepMode() macroflow.CFMode           { return macroflow.MinSweepCF() }
 
 func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResult {
+	stitch := c.stitchOptions(c.seed)
+	stitch.Check = c.check
 	res, err := f.RunCNV(mode, macroflow.CNVOptions{
-		Stitch: macroflow.StitchOptions{
-			Seed:       c.seed,
-			Iterations: c.stitchIters,
-			Chains:     c.stitchChains,
-			Backend:    c.stitchBackend,
-			Obs:        c.rec,
-			Check:      c.check,
-		},
+		Stitch:    stitch,
 		Implement: macroflow.ImplementOptions{Obs: c.rec, Check: c.check},
 	})
 	if err != nil {
@@ -134,20 +129,14 @@ func fig13(c *ctx) {
 	var convE, convC, costE, costC, illE, illC float64
 	for s := int64(0); s < seeds; s++ {
 		re, err := f45.RunCNV(macroflow.EstimatorCF(est), macroflow.CNVOptions{
-			Stitch: macroflow.StitchOptions{
-				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
-				Backend: c.stitchBackend, Obs: c.rec,
-			},
+			Stitch:    c.stitchOptions(c.seed + s),
 			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		rc, err := f45.RunCNV(macroflow.ConstantCF(1.68), macroflow.CNVOptions{
-			Stitch: macroflow.StitchOptions{
-				Seed: c.seed + s, Iterations: c.stitchIters, Chains: c.stitchChains,
-				Backend: c.stitchBackend, Obs: c.rec,
-			},
+			Stitch:    c.stitchOptions(c.seed + s),
 			Implement: macroflow.ImplementOptions{Obs: c.rec},
 		})
 		if err != nil {

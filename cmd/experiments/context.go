@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"macroflow"
+	"macroflow/internal/cliflags"
 	"macroflow/internal/cnv"
 	"macroflow/internal/dataset"
 	"macroflow/internal/fabric"
@@ -20,15 +21,14 @@ import (
 // ctx caches the expensive shared artifacts (dataset, cnv labels) across
 // experiments in one invocation.
 type ctx struct {
-	seed          int64
-	modules       int
-	trees         int
-	epochs        int
-	stitchIters   int
-	stitchChains  int
-	stitchBackend string
-	cacheDir      string
-	check         macroflow.CheckLevel
+	seed        int64
+	modules     int
+	trees       int
+	epochs      int
+	stitchIters int
+	stitch      *cliflags.Stitch
+	cacheDir    string
+	check       macroflow.CheckLevel
 
 	// rec collects spans and metrics when -trace/-metrics is set (nil
 	// otherwise — recording fully disabled). cur is the span of the
@@ -61,6 +61,16 @@ type cnvLabel struct {
 }
 
 const cnvSearchStart = 0.5 // §IV determines minimal CFs below 0.7 too
+
+// stitchOptions builds the stitcher options every cnv-flow experiment
+// shares: the -stitch-* flag group (backend, chains, evo parameters,
+// portfolio entrant list) applied on top of the run's seed and
+// iteration budget.
+func (c *ctx) stitchOptions(seed int64) macroflow.StitchOptions {
+	o := macroflow.StitchOptions{Seed: seed, Iterations: c.stitchIters, Obs: c.rec}
+	c.stitch.Apply(&o)
+	return o
+}
 
 // implCache lazily opens the persistent implementation cache named by
 // -cache, or returns nil when the flag is unset (the default, which

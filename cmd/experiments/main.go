@@ -58,15 +58,14 @@ func main() {
 	}
 
 	c := &ctx{
-		seed:          *seed,
-		modules:       *modules,
-		trees:         *trees,
-		epochs:        *epochs,
-		stitchIters:   *stitchIters,
-		stitchChains:  st.Chains,
-		stitchBackend: st.Backend,
-		cacheDir:      *cacheDir,
-		check:         checkLevel,
+		seed:        *seed,
+		modules:     *modules,
+		trees:       *trees,
+		epochs:      *epochs,
+		stitchIters: *stitchIters,
+		stitch:      st,
+		cacheDir:    *cacheDir,
+		check:       checkLevel,
 	}
 	// The recorder is only allocated when asked for: a nil *Recorder
 	// disables all recording, keeping the default outputs byte-identical.

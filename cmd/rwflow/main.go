@@ -63,9 +63,10 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	stitch := macroflow.StitchOptions{Seed: *seed, Iterations: *iters, GDIterations: *gdIters, Obs: rec}
+	st.Apply(&stitch)
 	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
-		Stitch: macroflow.StitchOptions{Seed: *seed, Iterations: *iters, Chains: st.Chains,
-			Backend: st.Backend, GDIterations: *gdIters, Obs: rec},
+		Stitch:    stitch,
 		Implement: macroflow.ImplementOptions{Obs: rec},
 	})
 	if err != nil {
@@ -97,6 +98,21 @@ func main() {
 		res.Stitch.ConvergenceIter, res.Stitch.Iterations, res.Stitch.IllegalMoves)
 	if res.Stitch.GDIters > 0 {
 		fmt.Printf("analytic seed: %d gradient-descent iterations\n", res.Stitch.GDIters)
+	}
+	if pf := res.Stitch.Portfolio; pf != nil {
+		fmt.Printf("portfolio: entrant %d won", pf.Winner)
+		if pf.Threshold > 0 {
+			fmt.Printf(" (threshold %.0f)", pf.Threshold)
+		}
+		fmt.Println()
+		for _, e := range pf.Entrants {
+			mark := " "
+			if e.Winner {
+				mark = "*"
+			}
+			fmt.Printf("  %s %-9s final=%.0f unplaced=%d moves=%d thresholdIter=%d\n",
+				mark, e.Backend, e.FinalCost, e.Unplaced, e.Moves, e.ThresholdIter)
+		}
 	}
 	if len(res.Stitch.Chains) > 1 {
 		fmt.Printf("chains: %d, %d accepted exchanges\n", len(res.Stitch.Chains), res.Stitch.Exchanges)

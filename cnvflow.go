@@ -36,7 +36,7 @@ func EstimatorCF(e *Estimator) CFMode { return CFMode{kind: "estimator", estimat
 // StitchReport summarizes the SA stitching of the full design.
 type StitchReport struct {
 	// Backend echoes the validated stitcher backend the run used
-	// ("anneal", "analytic" or "hybrid").
+	// ("anneal", "analytic", "hybrid", "evo" or "portfolio").
 	Backend string
 	// GDIters is the analytic gradient-descent iteration count of the
 	// run (0 for the pure anneal backend).
@@ -67,6 +67,43 @@ type StitchReport struct {
 	TraceEvery int
 	// Chains holds per-chain telemetry (one entry for serial runs).
 	Chains []ChainReport
+	// Portfolio holds the cross-backend race telemetry of a portfolio
+	// run (nil for single-backend runs); the rest of the report is the
+	// winning entrant's.
+	Portfolio *PortfolioReport
+}
+
+// PortfolioReport is the cross-backend telemetry of a portfolio run:
+// one entrant per raced backend, each reported like a pseudo-chain plus
+// its racing outcome.
+type PortfolioReport struct {
+	// Winner indexes the entrant whose placement the report carries.
+	Winner int
+	// Threshold echoes the first-to-threshold total cost the race was
+	// configured with (0 = best final cost at budget).
+	Threshold float64
+	// Entrants holds one entry per raced backend, in configured order.
+	Entrants []PortfolioEntrant
+}
+
+// PortfolioEntrant extends ChainReport with one portfolio entrant's
+// racing outcome: Moves/Accepts/IllegalMoves sum over the entrant's own
+// chains, Trace is its winning chain's cost curve, and Chain is the
+// entrant index.
+type PortfolioEntrant struct {
+	ChainReport
+	// Backend is the entrant's solver.
+	Backend string
+	// Winner marks the entrant whose placement the report carries.
+	Winner bool
+	// ThresholdIter is the first trace iteration at which the entrant's
+	// total cost reached the threshold; -1 when it never did or no
+	// threshold was set.
+	ThresholdIter int
+	// Iterations is the entrant's executed move count (all chains).
+	Iterations int
+	// Unplaced is the entrant's final unplaced-instance count.
+	Unplaced int
 }
 
 // CostPoint is one sample of the SA cost curve.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"strings"
 
 	"macroflow"
 	"macroflow/internal/obs"
@@ -31,8 +32,12 @@ const (
 	cacheUsage   = "persistent implementation cache directory (reused across runs)"
 	strategyUsage = "min-CF search strategy: linear (paper sweep) or bisect (same CFs, O(log) runs)"
 	chainsUsage   = "parallel-tempering chains (0/1 = serial; results depend only on -seed and this value)"
-	backendUsage  = "stitcher backend: anneal, analytic, or hybrid (analytic gradient-descent seed + annealing)"
+	backendUsage  = "stitcher backend: anneal, analytic, hybrid (analytic seed + annealing), evo ((μ+λ) evolutionary), or portfolio (race -stitch-portfolio backends)"
 	checkUsage    = "oracle cross-check level: off, sampled or full"
+	evoMuUsage    = "evo backend: survivors per generation (0 = default 4)"
+	evoLambdaUsage = "evo backend: offspring per generation (0 = default 8)"
+	evoGensUsage   = "evo backend: generations (0 = default 16)"
+	portfolioUsage = "portfolio backend: comma-separated entrant list (default anneal,hybrid,evo)"
 )
 
 // Obs holds the -trace/-metrics observability flags.
@@ -116,14 +121,24 @@ func (s *Strategy) Parse() (macroflow.SearchStrategy, error) {
 	return macroflow.SearchLinear, fmt.Errorf("unknown strategy %q (linear, bisect)", s.Name)
 }
 
-// Stitch holds the -stitch-chains/-stitch-backend pair.
+// Stitch holds the shared -stitch-* flag group: chains and backend
+// selection plus the evolutionary and portfolio backend parameters.
 type Stitch struct {
 	Chains  int
 	Backend string
+	// EvoMu/EvoLambda/EvoGenerations are the evo backend's (μ+λ)
+	// parameters (0 = library defaults).
+	EvoMu          int
+	EvoLambda      int
+	EvoGenerations int
+	// Portfolio is the portfolio backend's comma-separated entrant list
+	// ("" = library default anneal,hybrid,evo).
+	Portfolio string
 }
 
-// AddStitch registers -stitch-chains (default 0) and -stitch-backend
-// (default "anneal"). chainsUsageOverride keeps a command's historic
+// AddStitch registers -stitch-chains (default 0), -stitch-backend
+// (default "anneal"), the -stitch-evo-* parameter trio and
+// -stitch-portfolio. chainsUsageOverride keeps a command's historic
 // -stitch-chains help text; "" selects the canonical one.
 func AddStitch(fs *flag.FlagSet, chainsUsageOverride string) *Stitch {
 	u := chainsUsageOverride
@@ -133,7 +148,38 @@ func AddStitch(fs *flag.FlagSet, chainsUsageOverride string) *Stitch {
 	s := &Stitch{}
 	fs.IntVar(&s.Chains, "stitch-chains", 0, u)
 	fs.StringVar(&s.Backend, "stitch-backend", "anneal", backendUsage)
+	fs.IntVar(&s.EvoMu, "stitch-evo-mu", 0, evoMuUsage)
+	fs.IntVar(&s.EvoLambda, "stitch-evo-lambda", 0, evoLambdaUsage)
+	fs.IntVar(&s.EvoGenerations, "stitch-evo-generations", 0, evoGensUsage)
+	fs.StringVar(&s.Portfolio, "stitch-portfolio", "", portfolioUsage)
 	return s
+}
+
+// Apply maps the flag group onto the structured per-backend options:
+// backend and chains as before, the evo trio into Evo, and the parsed
+// portfolio list into Portfolio.Backends. Validation stays with
+// StitchOptions.Validate, so every command rejects bad spellings with
+// the library's message.
+func (s *Stitch) Apply(o *macroflow.StitchOptions) {
+	o.Backend = s.Backend
+	o.Anneal.Chains = s.Chains
+	o.Evo.Mu = s.EvoMu
+	o.Evo.Lambda = s.EvoLambda
+	o.Evo.Generations = s.EvoGenerations
+	o.Portfolio.Backends = s.PortfolioBackends()
+}
+
+// PortfolioBackends parses the -stitch-portfolio comma list (nil when
+// the flag is unset, selecting the library default).
+func (s *Stitch) PortfolioBackends() []string {
+	if s.Portfolio == "" {
+		return nil
+	}
+	var out []string
+	for _, b := range strings.Split(s.Portfolio, ",") {
+		out = append(out, strings.TrimSpace(b))
+	}
+	return out
 }
 
 // Telemetry holds the service-telemetry flags of long-running daemons:

@@ -21,13 +21,17 @@ func TestFlagNamesAndDefaults(t *testing.T) {
 	AddCheck(fs, "")
 
 	want := map[string]string{
-		"trace":          "",
-		"metrics":        "false",
-		"cache":          "",
-		"strategy":       "linear",
-		"stitch-chains":  "0",
-		"stitch-backend": "anneal",
-		"check":          "off",
+		"trace":                  "",
+		"metrics":                "false",
+		"cache":                  "",
+		"strategy":               "linear",
+		"stitch-chains":          "0",
+		"stitch-backend":         "anneal",
+		"stitch-evo-mu":          "0",
+		"stitch-evo-lambda":      "0",
+		"stitch-evo-generations": "0",
+		"stitch-portfolio":       "",
+		"check":                  "off",
 	}
 	got := map[string]string{}
 	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = f.DefValue })
@@ -94,6 +98,39 @@ func TestStrategyParse(t *testing.T) {
 	_, err := (&Strategy{Name: "annealed"}).Parse()
 	if err == nil || !strings.Contains(err.Error(), `unknown strategy "annealed" (linear, bisect)`) {
 		t.Errorf("bad strategy error = %v", err)
+	}
+}
+
+// TestStitchApply: the flag group maps onto the structured per-backend
+// sub-structs — backend + chains as before, the evo trio, and the
+// portfolio comma list split and trimmed (unset → nil, keeping the
+// library default).
+func TestStitchApply(t *testing.T) {
+	s := &Stitch{
+		Chains: 4, Backend: "portfolio",
+		EvoMu: 6, EvoLambda: 12, EvoGenerations: 20,
+		Portfolio: "anneal, hybrid,evo",
+	}
+	var o macroflow.StitchOptions
+	s.Apply(&o)
+	if o.Backend != "portfolio" || o.Anneal.Chains != 4 {
+		t.Errorf("backend/chains = %q/%d", o.Backend, o.Anneal.Chains)
+	}
+	if o.Evo.Mu != 6 || o.Evo.Lambda != 12 || o.Evo.Generations != 20 {
+		t.Errorf("evo = %+v", o.Evo)
+	}
+	if want := []string{"anneal", "hybrid", "evo"}; len(o.Portfolio.Backends) != 3 ||
+		o.Portfolio.Backends[0] != want[0] || o.Portfolio.Backends[1] != want[1] ||
+		o.Portfolio.Backends[2] != want[2] {
+		t.Errorf("portfolio backends = %v, want %v", o.Portfolio.Backends, want)
+	}
+	var o2 macroflow.StitchOptions
+	(&Stitch{Backend: "anneal"}).Apply(&o2)
+	if o2.Portfolio.Backends != nil {
+		t.Errorf("unset -stitch-portfolio produced %v, want nil", o2.Portfolio.Backends)
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("applied options failed validation: %v", err)
 	}
 }
 

@@ -1,0 +1,103 @@
+package stitch
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestEvoDeterministicAcrossRuns: a (Seed, Mu, Lambda, Generations)
+// tuple fully determines the evo Result, bit for bit — traces,
+// telemetry and placement alike.
+func TestEvoDeterministicAcrossRuns(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 7, Iterations: 8000, Backend: BackendEvo},
+		{Seed: 7, Iterations: 8000, Backend: BackendEvo, Mu: 2, Lambda: 4, Generations: 8},
+	} {
+		a := Run(smallProblem(t, 12), cfg)
+		b := Run(smallProblem(t, 12), cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("cfg %+v: two evo runs with the same config differ", cfg)
+		}
+	}
+}
+
+// TestEvoDeterministicAcrossGOMAXPROCS: children evaluate in parallel
+// goroutines, but every random draw happens serially before the fan-out
+// and the reduction is ordered — scheduling must not leak into the
+// result.
+func TestEvoDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Seed: 3, Iterations: 12000, Backend: BackendEvo}
+	prev := runtime.GOMAXPROCS(1)
+	a := Run(smallProblem(t, 12), cfg)
+	runtime.GOMAXPROCS(4)
+	b := Run(smallProblem(t, 12), cfg)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("GOMAXPROCS changed the evo result")
+	}
+}
+
+// TestEvoResultLegal: the champion's placement must be overlap-free and
+// the telemetry self-consistent (crossover repair may never leave two
+// instances on one slice column).
+func TestEvoResultLegal(t *testing.T) {
+	p := smallProblem(t, 30)
+	res := Run(p, Config{Seed: 8, Iterations: 20000, Backend: BackendEvo})
+	occ := newOccupancy(p.Dev)
+	for ii, o := range res.Origins {
+		if !o.Placed {
+			continue
+		}
+		b := &p.Blocks[p.Instances[ii].Block]
+		for _, s := range b.Spans {
+			if occ.conflict(o.X+s.DX, o.Y+s.Min, o.Y+s.Max) {
+				t.Fatalf("instance %d overlaps", ii)
+			}
+			occ.set(o.X+s.DX, o.Y+s.Min, o.Y+s.Max, true)
+		}
+	}
+	if res.Placed == 0 {
+		t.Fatal("evo placed nothing")
+	}
+	if len(res.Chains) != 1 {
+		t.Fatalf("ChainStats entries = %d, want 1 (the champion lineage)", len(res.Chains))
+	}
+	if res.Chains[0].Moves == 0 {
+		t.Error("champion reports zero moves")
+	}
+	if len(res.CostTrace) == 0 {
+		t.Fatal("empty cost trace")
+	}
+	last := res.CostTrace[len(res.CostTrace)-1]
+	want := res.FinalCost + float64(res.Unplaced)*2000
+	if last.Cost != want {
+		t.Errorf("last trace cost %.1f, want final %.1f", last.Cost, want)
+	}
+}
+
+// TestEvoIncrementalClean: with CheckIncremental on, every child's
+// cached cost is recomputed from scratch after its mutation burst — the
+// crossover window adoption must keep the incremental bookkeeping
+// exact.
+func TestEvoIncrementalClean(t *testing.T) {
+	res := Run(smallProblem(t, 14), Config{
+		Seed: 11, Iterations: 6000, Backend: BackendEvo, CheckIncremental: true,
+	})
+	if res.Placed == 0 {
+		t.Error("nothing placed")
+	}
+}
+
+// TestEvoImprovesOnGreedy: selection pressure must pay for itself — the
+// champion may never be worse than the greedy founder it evolved from.
+func TestEvoImprovesOnGreedy(t *testing.T) {
+	p := smallProblem(t, 30)
+	founder := Run(p, Config{Seed: 2, Iterations: 1, Backend: BackendAnneal})
+	evolved := Run(smallProblem(t, 30), Config{Seed: 2, Iterations: 30000, Backend: BackendEvo})
+	ft := founder.FinalCost + float64(founder.Unplaced)*2000
+	et := evolved.FinalCost + float64(evolved.Unplaced)*2000
+	if et > ft {
+		t.Errorf("evo total %.1f worse than near-greedy %.1f", et, ft)
+	}
+}

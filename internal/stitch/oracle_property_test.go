@@ -25,7 +25,10 @@ func TestLegalizedPlacementsPassOracle(t *testing.T) {
 		{"synthetic-2x-z045", stitch.Synthetic(fabric.XC7Z045(), 2, 5)},
 	}
 	for _, tc := range problems {
-		for _, be := range []stitch.Backend{stitch.BackendAnneal, stitch.BackendAnalytic, stitch.BackendHybrid} {
+		for _, be := range []stitch.Backend{
+			stitch.BackendAnneal, stitch.BackendAnalytic, stitch.BackendHybrid,
+			stitch.BackendEvo, stitch.BackendPortfolio,
+		} {
 			for seed := int64(0); seed < 3; seed++ {
 				cfg := stitch.DefaultConfig()
 				cfg.Seed = seed

@@ -1,0 +1,181 @@
+// Portfolio stitcher backend: race several single-solver backends on
+// the same problem under one shared budget and keep the best answer.
+// Every entrant runs its backend with the SAME Seed and the SAME full
+// Iterations budget — bit-identical to a solo run of that backend — so
+// the portfolio's winner can never be worse than the best single
+// backend at equal budget; the losers' telemetry is folded into the
+// Result's Portfolio entries instead of being discarded.
+//
+// The check-in barriers are the entrants' cost-trace grids (sampled
+// every TraceEvery iterations plus the pinned final point): with
+// Config.Threshold > 0 the winner is the entrant whose trace first dips
+// to the threshold (earliest trace iteration, ties broken by final cost
+// then entrant index); otherwise — or when nobody reaches it — the
+// entrant with the lowest final total cost wins.
+//
+// Determinism contract: each entrant is bit-reproducible from
+// (Seed, its backend) on its own, the entrants are reduced in entrant
+// order after the join, and the winner selection is pure arithmetic —
+// so the portfolio result depends only on (Seed, Backends), never on
+// GOMAXPROCS or which entrant happens to finish first on the clock.
+package stitch
+
+import (
+	"sync"
+
+	"macroflow/internal/obs"
+)
+
+// BackendPortfolio races the configured backends (Config.Backends) and
+// returns the winner's placement.
+const BackendPortfolio Backend = "portfolio"
+
+// defaultPortfolioBackends is the entrant list when Config.Backends is
+// empty: the three search families — move-based, analytic-seeded
+// move-based, and evolutionary.
+func defaultPortfolioBackends() []Backend {
+	return []Backend{BackendAnneal, BackendHybrid, BackendEvo}
+}
+
+// EntrantStats is the cross-backend telemetry of one portfolio entrant.
+// It extends ChainStats — an entrant is reported like a pseudo-chain
+// (its Moves/Accepts/IllegalMoves summed over its own chains, its Trace
+// the winning chain's cost curve) plus the racing outcome.
+type EntrantStats struct {
+	ChainStats
+	// Backend is the entrant's solver.
+	Backend Backend
+	// Winner marks the entrant whose placement the Result carries.
+	Winner bool
+	// ThresholdIter is the first trace iteration at which the entrant's
+	// total cost (penalties included) reached Config.Threshold; -1 when
+	// it never did or no threshold was set.
+	ThresholdIter int
+	// Iterations is the entrant's executed move count (all chains).
+	Iterations int
+	// Unplaced is the entrant's final unplaced-instance count.
+	Unplaced int
+}
+
+// runPortfolio races the entrants and assembles the winner's Result
+// with the cross-backend Portfolio telemetry attached.
+func runPortfolio(p *Problem, cfg Config) *Result {
+	backends := cfg.Backends
+	if len(backends) == 0 {
+		backends = defaultPortfolioBackends()
+	}
+	rec := cfg.Obs
+	runSp := obs.StartChild(rec, cfg.Span, "stitch.portfolio",
+		obs.String("backend", string(BackendPortfolio)),
+		obs.Int("entrants", len(backends)), obs.Int("iterations", cfg.Iterations),
+		obs.Float("threshold", cfg.Threshold))
+
+	results := make([]*Result, len(backends))
+	spans := make([]*obs.Span, len(backends))
+	var wg sync.WaitGroup
+	for ei := range backends {
+		be := backends[ei]
+		if be == BackendPortfolio {
+			panic("stitch: nested portfolio entrant (callers validate via Config)")
+		}
+		sub := cfg
+		sub.Backend = be
+		sub.Backends = nil
+		sub.Threshold = 0
+		// Entrants race silently: the winner's trace is replayed to
+		// Progress after the join, from the calling goroutine, so the
+		// callback contract (never concurrent) holds.
+		sub.Progress = nil
+		spans[ei] = obs.StartChild(rec, runSp, "stitch.entrant",
+			obs.Int("entrant", ei), obs.String("entrant_backend", string(be)))
+		sub.Span = spans[ei]
+		wg.Add(1)
+		go func(ei int, sub Config) {
+			defer wg.Done()
+			results[ei] = Run(p, sub)
+		}(ei, sub)
+	}
+	wg.Wait()
+
+	// Ordered reduction: every per-entrant readout below walks the
+	// results slice in entrant order.
+	thIter := make([]int, len(results))
+	for ei, r := range results {
+		thIter[ei] = -1
+		if cfg.Threshold > 0 {
+			for _, s := range r.CostTrace {
+				if s.Cost <= cfg.Threshold {
+					thIter[ei] = s.Iter
+					break
+				}
+			}
+		}
+	}
+	win := 0
+	for ei := 1; ei < len(results); ei++ {
+		if entrantBeats(results[ei], thIter[ei], results[win], thIter[win], cfg) {
+			win = ei
+		}
+	}
+
+	res := *results[win] // the winner's Result verbatim, plus Portfolio
+	res.Portfolio = make([]EntrantStats, len(results))
+	for ei, r := range results {
+		var moves, accepts, illegal int
+		for _, cs := range r.Chains {
+			moves += cs.Moves
+			accepts += cs.Accepts
+			illegal += cs.IllegalMoves
+		}
+		res.Portfolio[ei] = EntrantStats{
+			ChainStats: ChainStats{
+				Chain:        ei,
+				Moves:        moves,
+				Accepts:      accepts,
+				IllegalMoves: illegal,
+				FinalCost:    r.FinalCost,
+				Trace:        r.CostTrace,
+			},
+			Backend:       backends[ei],
+			Winner:        ei == win,
+			ThresholdIter: thIter[ei],
+			Iterations:    r.Iterations,
+			Unplaced:      r.Unplaced,
+		}
+		spans[ei].Set(obs.Float("final_cost", r.FinalCost),
+			obs.Int("unplaced", r.Unplaced), obs.Int("iterations", r.Iterations))
+		spans[ei].End()
+	}
+	if cfg.Progress != nil {
+		for _, s := range res.CostTrace {
+			cfg.Progress(win, s.Iter, s.Cost)
+		}
+	}
+	rec.Add("stitch.portfolio.entrants", int64(len(results)))
+	runSp.Set(obs.Int("winner", win),
+		obs.String("winner_backend", string(backends[win])),
+		obs.Float("final_cost", res.FinalCost))
+	runSp.End()
+	return &res
+}
+
+// entrantTotal is the racing objective: wirelength plus the unplaced
+// penalties — the same total cost the chains and the EA select on.
+func entrantTotal(r *Result, cfg Config) float64 {
+	return r.FinalCost + float64(r.Unplaced)*cfg.UnplacedPenalty
+}
+
+// entrantBeats reports whether entrant a strictly beats the incumbent
+// b: first-to-threshold when either reached it, then lowest final total
+// cost; exact ties keep the incumbent (lower entrant index).
+func entrantBeats(a *Result, aTh int, b *Result, bTh int, cfg Config) bool {
+	if aTh >= 0 || bTh >= 0 {
+		if aTh < 0 || bTh < 0 {
+			return aTh >= 0 // only one reached the threshold
+		}
+		if aTh != bTh {
+			return aTh < bTh
+		}
+	}
+	return entrantTotal(a, cfg) < entrantTotal(b, cfg)
+}

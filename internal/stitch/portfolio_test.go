@@ -1,0 +1,179 @@
+package stitch
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"macroflow/internal/fabric"
+)
+
+// portfolioTotal is the budget-comparison metric the race judges by:
+// wirelength plus the unplaced penalty, i.e. the last trace sample.
+func portfolioTotal(r *Result, penalty float64) float64 {
+	return r.FinalCost + float64(r.Unplaced)*penalty
+}
+
+// TestPortfolioDeterministicAcrossRuns: a (Seed, Backends) pair fully
+// determines the portfolio Result — winner choice, entrant stats and
+// the champion placement.
+func TestPortfolioDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Seed: 7, Iterations: 8000, Backend: BackendPortfolio}
+	a := Run(smallProblem(t, 12), cfg)
+	b := Run(smallProblem(t, 12), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two portfolio runs with the same config differ")
+	}
+}
+
+// TestPortfolioDeterministicAcrossGOMAXPROCS: entrants race in parallel
+// goroutines but the winner is picked by an ordered reduction after the
+// join barrier — scheduling must not leak into the result.
+func TestPortfolioDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Seed: 3, Iterations: 9000, Backend: BackendPortfolio}
+	prev := runtime.GOMAXPROCS(1)
+	a := Run(smallProblem(t, 12), cfg)
+	runtime.GOMAXPROCS(4)
+	b := Run(smallProblem(t, 12), cfg)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("GOMAXPROCS changed the portfolio result")
+	}
+}
+
+// TestPortfolioEntrantsMatchSolo: each entrant runs bit-identically to
+// the same backend invoked alone with the same Seed and budget — the
+// race must observe, never perturb.
+func TestPortfolioEntrantsMatchSolo(t *testing.T) {
+	cfg := Config{Seed: 5, Iterations: 8000, Backend: BackendPortfolio}
+	res := Run(smallProblem(t, 12), cfg)
+	if len(res.Portfolio) != 3 {
+		t.Fatalf("entrants = %d, want 3 (default anneal,hybrid,evo)", len(res.Portfolio))
+	}
+	for ei, e := range res.Portfolio {
+		solo := cfg
+		solo.Backend = e.Backend
+		sres := Run(smallProblem(t, 12), solo)
+		if e.FinalCost != sres.FinalCost {
+			t.Errorf("entrant %d (%s): final %.1f, solo %.1f", ei, e.Backend, e.FinalCost, sres.FinalCost)
+		}
+		if e.Unplaced != sres.Unplaced {
+			t.Errorf("entrant %d (%s): unplaced %d, solo %d", ei, e.Backend, e.Unplaced, sres.Unplaced)
+		}
+		if !reflect.DeepEqual(e.Trace, sres.CostTrace) {
+			t.Errorf("entrant %d (%s): trace diverged from solo run", ei, e.Backend)
+		}
+	}
+}
+
+// TestPortfolioWinnerNotWorse: at the same budget the race's final total
+// must equal the best of its entrants — winner-take-all by construction.
+func TestPortfolioWinnerNotWorse(t *testing.T) {
+	p := smallProblem(t, 30)
+	cfg := Config{Seed: 2, Iterations: 20000, Backend: BackendPortfolio}
+	res := Run(p, cfg)
+	got := portfolioTotal(res, 2000)
+	winners := 0
+	for _, e := range res.Portfolio {
+		solo := cfg
+		solo.Backend = e.Backend
+		st := portfolioTotal(Run(smallProblem(t, 30), solo), 2000)
+		if got > st {
+			t.Errorf("portfolio total %.1f worse than solo %s %.1f", got, e.Backend, st)
+		}
+		if e.Winner {
+			winners++
+			if got != e.FinalCost+float64(e.Unplaced)*2000 {
+				t.Errorf("result total %.1f does not match winning entrant's %.1f",
+					got, e.FinalCost+float64(e.Unplaced)*2000)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Errorf("%d entrants flagged as winner, want exactly 1", winners)
+	}
+}
+
+// TestPortfolioThresholdRace: with a reachable threshold the judge must
+// pick the entrant whose trace crosses it at the earliest iteration and
+// record that crossing on every entrant that reached it.
+func TestPortfolioThresholdRace(t *testing.T) {
+	p := smallProblem(t, 12)
+	base := Run(p, Config{Seed: 9, Iterations: 8000, Backend: BackendPortfolio})
+	// Every entrant's final total beats this threshold, so all reach it
+	// and the earliest crossing wins.
+	th := portfolioTotal(base, 2000) * 4
+	res := Run(smallProblem(t, 12), Config{
+		Seed: 9, Iterations: 8000, Backend: BackendPortfolio, Threshold: th,
+	})
+	crossed := 0
+	for _, e := range res.Portfolio {
+		if e.ThresholdIter >= 0 {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Fatal("no entrant recorded a threshold crossing (threshold above the winner's total)")
+	}
+	// Replay the documented judging rule over the reported stats: crossing
+	// beats not crossing, earlier crossing beats later, then lower final
+	// total, exact ties keep the lower index.
+	total := func(e EntrantStats) float64 { return e.FinalCost + float64(e.Unplaced)*2000 }
+	want := 0
+	for ei := 1; ei < len(res.Portfolio); ei++ {
+		a, b := res.Portfolio[ei], res.Portfolio[want]
+		beats := false
+		switch {
+		case a.ThresholdIter >= 0 != (b.ThresholdIter >= 0):
+			beats = a.ThresholdIter >= 0
+		case a.ThresholdIter >= 0 && a.ThresholdIter != b.ThresholdIter:
+			beats = a.ThresholdIter < b.ThresholdIter
+		default:
+			beats = total(a) < total(b)
+		}
+		if beats {
+			want = ei
+		}
+	}
+	if !res.Portfolio[want].Winner {
+		t.Errorf("judging rule picks entrant %d (%s), but the Winner flag is elsewhere",
+			want, res.Portfolio[want].Backend)
+	}
+}
+
+// TestPortfolioExplicitEntrants: a custom Backends list races exactly
+// those entrants, in order.
+func TestPortfolioExplicitEntrants(t *testing.T) {
+	res := Run(smallProblem(t, 12), Config{
+		Seed: 4, Iterations: 6000, Backend: BackendPortfolio,
+		Backends: []Backend{BackendAnneal, BackendAnalytic},
+	})
+	if len(res.Portfolio) != 2 {
+		t.Fatalf("entrants = %d, want 2", len(res.Portfolio))
+	}
+	if res.Portfolio[0].Backend != BackendAnneal || res.Portfolio[1].Backend != BackendAnalytic {
+		t.Errorf("entrant order = %s,%s", res.Portfolio[0].Backend, res.Portfolio[1].Backend)
+	}
+}
+
+// TestPortfolioNotWorseThanHybrid: the acceptance property on the
+// realistic synthetic design — racing {anneal, hybrid, evo} can never
+// lose to running hybrid alone at the same per-entrant budget.
+func TestPortfolioNotWorseThanHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic 10x in -short mode")
+	}
+	mkP := func() *Problem { return Synthetic(fabric.XC7Z045(), 10, 7) }
+	cfg := Config{Seed: 1, Iterations: 30000}
+	hybrid := cfg
+	hybrid.Backend = BackendHybrid
+	hr := Run(mkP(), hybrid)
+	race := cfg
+	race.Backend = BackendPortfolio
+	rr := Run(mkP(), race)
+	ht := portfolioTotal(hr, 2000)
+	rt := portfolioTotal(rr, 2000)
+	if rt > ht {
+		t.Errorf("portfolio total %.1f worse than hybrid %.1f", rt, ht)
+	}
+}

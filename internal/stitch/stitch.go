@@ -121,6 +121,24 @@ type Config struct {
 	// GDIterations is the analytic backend's gradient-descent budget
 	// (default 256); ignored by BackendAnneal.
 	GDIterations int
+	// Mu and Lambda size the evolutionary backend's (μ+λ) population:
+	// Mu survivors per generation, Lambda offspring (defaults 4 and 8).
+	// Ignored by the other backends; see evo.go.
+	Mu, Lambda int
+	// Generations is the evolutionary backend's generation count
+	// (default 16); the mutation budget per offspring is
+	// Iterations/(Generations·Lambda) annealer moves.
+	Generations int
+	// Backends is the portfolio backend's entrant list (default anneal,
+	// hybrid, evo). Each entrant runs its backend with the full
+	// Iterations budget and the same Seed — bit-identical to a solo run
+	// of that backend; see portfolio.go. Nested "portfolio" entrants are
+	// invalid.
+	Backends []Backend
+	// Threshold, when > 0, is the portfolio's first-to-threshold total
+	// cost (penalties included): the entrant whose cost trace first dips
+	// to it wins. 0 selects best-final-cost-at-budget.
+	Threshold float64
 	// Iterations is the total SA move budget (default 200,000). With
 	// Chains > 1 the budget is divided evenly across the chains.
 	Iterations int
@@ -227,6 +245,10 @@ type Result struct {
 	// GDIters is the analytic gradient-descent iteration count of the
 	// run (0 for the pure annealer backend).
 	GDIters int
+	// Portfolio holds the per-entrant telemetry of a portfolio run (nil
+	// for single-backend runs); the rest of the Result is the winning
+	// entrant's, verbatim.
+	Portfolio []EntrantStats
 }
 
 // ChainStats is the telemetry of one annealing chain.
@@ -432,6 +454,10 @@ func Run(p *Problem, cfg Config) *Result {
 		return runChains(p, newPrep(p), cfg)
 	case BackendAnalytic:
 		return runAnalytic(p, newPrep(p), cfg)
+	case BackendEvo:
+		return runEvo(p, newPrep(p), cfg)
+	case BackendPortfolio:
+		return runPortfolio(p, cfg)
 	}
 	panic(fmt.Sprintf("stitch: unknown backend %q (callers validate via ParseBackend)", cfg.Backend))
 }

@@ -11,20 +11,86 @@ import (
 	"macroflow/internal/stitch"
 )
 
-// StitchOptions is the single stitch-tuning surface shared by RunCNV
-// and Compile (embed via CNVOptions.Stitch / CompileOptions.Stitch).
-type StitchOptions struct {
-	// Seed drives the annealer (and, with Chains, the per-chain derived
-	// seeds and the replica-exchange schedule).
-	Seed int64
-	// Iterations is the total SA move budget (default 200,000), divided
-	// evenly across chains when Chains > 1.
-	Iterations int
+// AnnealOptions tunes the parallel-tempering annealer (backends
+// "anneal" and "hybrid"; the hybrid's annealing phase reads the same
+// knobs).
+type AnnealOptions struct {
 	// Chains runs K parallel-tempering replicas with a geometric
 	// temperature ladder and fixed replica-exchange barriers, returning
 	// the best chain's result. 0 or 1 keeps the single serial chain,
 	// bit-identical to previous releases. Results are bit-reproducible
 	// for a given (Seed, Chains) pair regardless of GOMAXPROCS.
+	Chains int
+	// Iterations is the total SA move budget (default 200,000), divided
+	// evenly across chains when Chains > 1. It also bounds the evo
+	// backend's total mutation moves and every portfolio entrant's
+	// budget — it is the cross-backend budget knob.
+	Iterations int
+	// TempLadder is the temperature multiplier between adjacent chains
+	// (0 selects the calibrated default of 3.0; values >= 1 otherwise).
+	TempLadder float64
+}
+
+// AnalyticOptions tunes the gradient-descent global placer (backends
+// "analytic" and "hybrid").
+type AnalyticOptions struct {
+	// GDIterations is the gradient-descent budget (default 256).
+	GDIterations int
+}
+
+// EvoOptions tunes the (μ+λ) evolutionary placer (backend "evo").
+type EvoOptions struct {
+	// Mu is the survivor count per generation (default 4).
+	Mu int
+	// Lambda is the offspring count per generation (default 8).
+	Lambda int
+	// Generations is the generation count (default 16); each offspring
+	// mutates for Iterations/(Generations·Lambda) annealer moves.
+	Generations int
+}
+
+// PortfolioOptions tunes the backend racer (backend "portfolio").
+type PortfolioOptions struct {
+	// Backends lists the entrants (default anneal, hybrid, evo). Each
+	// entrant runs with the full Iterations budget and the same Seed —
+	// bit-identical to a solo run of that backend. "portfolio" cannot
+	// nest.
+	Backends []string
+	// Threshold, when > 0, selects first-to-threshold racing: the
+	// entrant whose cost trace (total cost, unplaced penalties
+	// included) first dips to Threshold wins. 0 selects best final
+	// cost at budget.
+	Threshold float64
+}
+
+// StitchOptions is the single stitch-tuning surface shared by RunCNV
+// and Compile (embed via CNVOptions.Stitch / CompileOptions.Stitch).
+// Per-backend parameters live in the Anneal/Analytic/Evo/Portfolio
+// sub-structs; the flat Iterations/Chains/GDIterations fields remain as
+// deprecated working aliases resolved through the same overlay pattern
+// as the CNVOptions flat fields (structured wins, conflicts warn once).
+type StitchOptions struct {
+	// Seed drives every backend's random streams (chain seeds, the
+	// replica-exchange schedule, the analytic scatter, the evolutionary
+	// per-offspring seeds).
+	Seed int64
+	// Anneal tunes the parallel-tempering annealer.
+	Anneal AnnealOptions
+	// Analytic tunes the gradient-descent global placer.
+	Analytic AnalyticOptions
+	// Evo tunes the (μ+λ) evolutionary placer.
+	Evo EvoOptions
+	// Portfolio tunes the backend racer.
+	Portfolio PortfolioOptions
+	// Iterations is the total SA move budget. Conflicts with a non-zero
+	// Anneal.Iterations are warned once; the structured field wins.
+	//
+	// Deprecated: set Anneal.Iterations.
+	Iterations int
+	// Chains is the parallel-tempering replica count. Conflicts with a
+	// non-zero Anneal.Chains are warned once; the structured field wins.
+	//
+	// Deprecated: set Anneal.Chains.
 	Chains int
 	// AdaptiveStop lets the annealer terminate once a cost plateau is
 	// reached, making Iterations a convergence-speed measurement. With
@@ -57,14 +123,49 @@ type StitchOptions struct {
 	// Backend selects the stitching algorithm: BackendAnneal ("" or
 	// "anneal", the default — byte-identical to previous releases),
 	// BackendAnalytic ("analytic", gradient-descent global placement
-	// plus snap-to-legal, no annealing) or BackendHybrid ("hybrid",
-	// the analytic placement seeds the annealer's cold chain). Unknown
+	// plus snap-to-legal, no annealing), BackendHybrid ("hybrid", the
+	// analytic placement seeds the annealer's cold chain), BackendEvo
+	// ("evo", the (μ+λ) evolutionary placer) or BackendPortfolio
+	// ("portfolio", racing Portfolio.Backends under one budget). Unknown
 	// spellings fail RunCNV/Compile before any work is done. All
-	// backends are bit-reproducible from (Seed, Chains, Backend).
+	// backends are bit-reproducible from (Seed, Chains, Backend) — the
+	// portfolio from (Seed, Portfolio.Backends) — regardless of
+	// GOMAXPROCS.
 	Backend string
-	// GDIterations is the analytic/hybrid backends' gradient-descent
-	// budget (default 256); ignored by the anneal backend.
+	// GDIterations is the analytic/hybrid gradient-descent budget.
+	// Conflicts with a non-zero Analytic.GDIterations are warned once;
+	// the structured field wins.
+	//
+	// Deprecated: set Analytic.GDIterations.
 	GDIterations int
+}
+
+// resolved overlays the deprecated flat per-backend aliases onto the
+// structured sub-structs; explicitly set structured fields win, and a
+// flat alias that conflicts with its structured counterpart logs a
+// one-shot warning and records an options.alias_conflict event.
+// stitchConfig calls it exactly once per run, so conflict counters
+// advance once per resolution, not once per Validate.
+func (o StitchOptions) resolved() StitchOptions {
+	if o.Iterations != 0 && o.Anneal.Iterations != 0 && o.Iterations != o.Anneal.Iterations {
+		warnAliasConflict(o.Obs, "Iterations", "Anneal.Iterations")
+	}
+	if o.Anneal.Iterations == 0 {
+		o.Anneal.Iterations = o.Iterations
+	}
+	if o.Chains != 0 && o.Anneal.Chains != 0 && o.Chains != o.Anneal.Chains {
+		warnAliasConflict(o.Obs, "Chains", "Anneal.Chains")
+	}
+	if o.Anneal.Chains == 0 {
+		o.Anneal.Chains = o.Chains
+	}
+	if o.GDIterations != 0 && o.Analytic.GDIterations != 0 && o.GDIterations != o.Analytic.GDIterations {
+		warnAliasConflict(o.Obs, "GDIterations", "Analytic.GDIterations")
+	}
+	if o.Analytic.GDIterations == 0 {
+		o.Analytic.GDIterations = o.GDIterations
+	}
+	return o
 }
 
 // merged overlays the deprecated flat aliases onto the structured
@@ -111,9 +212,11 @@ func warnAliasConflict(rec *Recorder, deprecated, structured string) {
 // -stitch-backend flags); re-exported so callers need not import
 // internal/stitch.
 const (
-	BackendAnneal   = string(stitch.BackendAnneal)
-	BackendAnalytic = string(stitch.BackendAnalytic)
-	BackendHybrid   = string(stitch.BackendHybrid)
+	BackendAnneal    = string(stitch.BackendAnneal)
+	BackendAnalytic  = string(stitch.BackendAnalytic)
+	BackendHybrid    = string(stitch.BackendHybrid)
+	BackendEvo       = string(stitch.BackendEvo)
+	BackendPortfolio = string(stitch.BackendPortfolio)
 )
 
 // Validate rejects option combinations the stitcher would refuse: an
@@ -131,6 +234,42 @@ func (o StitchOptions) Validate() error {
 	}
 	if o.GDIterations < 0 {
 		return fmt.Errorf("macroflow: StitchOptions.GDIterations must be >= 0 (got %d)", o.GDIterations)
+	}
+	if o.Anneal.Iterations < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Anneal.Iterations must be >= 0 (got %d)", o.Anneal.Iterations)
+	}
+	if o.Anneal.Chains < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Anneal.Chains must be >= 0 (got %d)", o.Anneal.Chains)
+	}
+	if o.Anneal.TempLadder != 0 && o.Anneal.TempLadder < 1 {
+		return fmt.Errorf("macroflow: StitchOptions.Anneal.TempLadder must be 0 (default) or >= 1 (got %g)", o.Anneal.TempLadder)
+	}
+	if o.Analytic.GDIterations < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Analytic.GDIterations must be >= 0 (got %d)", o.Analytic.GDIterations)
+	}
+	if o.Evo.Mu < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Evo.Mu must be >= 0 (got %d)", o.Evo.Mu)
+	}
+	if o.Evo.Lambda < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Evo.Lambda must be >= 0 (got %d)", o.Evo.Lambda)
+	}
+	if o.Evo.Generations < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Evo.Generations must be >= 0 (got %d)", o.Evo.Generations)
+	}
+	if o.Portfolio.Threshold < 0 {
+		return fmt.Errorf("macroflow: StitchOptions.Portfolio.Threshold must be >= 0 (got %g)", o.Portfolio.Threshold)
+	}
+	for i, b := range o.Portfolio.Backends {
+		if b == "" {
+			return fmt.Errorf("macroflow: StitchOptions.Portfolio.Backends[%d] is empty (want anneal, analytic, hybrid or evo)", i)
+		}
+		be, err := stitch.ParseBackend(b)
+		if err != nil {
+			return err
+		}
+		if be == stitch.BackendPortfolio {
+			return fmt.Errorf("macroflow: StitchOptions.Portfolio.Backends[%d] must not nest %q", i, b)
+		}
 	}
 	if err := o.Check.Validate(); err != nil {
 		return err
@@ -262,13 +401,19 @@ func blockWorkers(requested, probeWorkers int) int {
 }
 
 // stitchConfig maps the public options onto the annealer configuration.
+// It resolves the deprecated flat aliases into the per-backend
+// sub-structs exactly once — so a flat-only configuration produces the
+// same stitch.Config (and byte-identical results) as before the
+// sub-structs existed.
 func stitchConfig(o StitchOptions) stitch.Config {
+	o = o.resolved()
 	scfg := stitch.DefaultConfig()
 	scfg.Seed = o.Seed
-	if o.Iterations > 0 {
-		scfg.Iterations = o.Iterations
+	if o.Anneal.Iterations > 0 {
+		scfg.Iterations = o.Anneal.Iterations
 	}
-	scfg.Chains = o.Chains
+	scfg.Chains = o.Anneal.Chains
+	scfg.TempLadder = o.Anneal.TempLadder
 	if o.AdaptiveStop {
 		scfg.StopWindow = scfg.Iterations / 16
 	}
@@ -278,7 +423,15 @@ func stitchConfig(o StitchOptions) stitch.Config {
 	// Backend is validated by RunCNV/Compile before any work starts;
 	// ParseBackend here only normalizes "" to the anneal default.
 	scfg.Backend, _ = stitch.ParseBackend(o.Backend)
-	scfg.GDIterations = o.GDIterations
+	scfg.GDIterations = o.Analytic.GDIterations
+	scfg.Mu = o.Evo.Mu
+	scfg.Lambda = o.Evo.Lambda
+	scfg.Generations = o.Evo.Generations
+	for _, b := range o.Portfolio.Backends {
+		be, _ := stitch.ParseBackend(b)
+		scfg.Backends = append(scfg.Backends, be)
+	}
+	scfg.Threshold = o.Portfolio.Threshold
 	return scfg
 }
 
@@ -318,19 +471,42 @@ func (f *Flow) stitchDesign(prob *stitch.Problem, o StitchOptions, parent *Span,
 		rep.Trace[n-1].Cost = rep.FinalCost
 	}
 	for _, cs := range sres.Chains {
-		cr := ChainReport{
-			Chain:        cs.Chain,
-			InitTemp:     cs.InitTemp,
-			Moves:        cs.Moves,
-			Accepts:      cs.Accepts,
-			IllegalMoves: cs.IllegalMoves,
-			Exchanges:    cs.Exchanges,
-			FinalCost:    cs.FinalCost,
+		rep.Chains = append(rep.Chains, chainReport(cs))
+	}
+	if len(sres.Portfolio) > 0 {
+		pr := &PortfolioReport{Threshold: o.Portfolio.Threshold}
+		for ei, e := range sres.Portfolio {
+			if e.Winner {
+				pr.Winner = ei
+			}
+			pr.Entrants = append(pr.Entrants, PortfolioEntrant{
+				ChainReport:   chainReport(e.ChainStats),
+				Backend:       string(e.Backend),
+				Winner:        e.Winner,
+				ThresholdIter: e.ThresholdIter,
+				Iterations:    e.Iterations,
+				Unplaced:      e.Unplaced,
+			})
 		}
-		for _, p := range cs.Trace {
-			cr.Trace = append(cr.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
-		}
-		rep.Chains = append(rep.Chains, cr)
+		rep.Portfolio = pr
 	}
 	return rep
+}
+
+// chainReport converts one chain's (or portfolio pseudo-chain's)
+// telemetry to the public report shape.
+func chainReport(cs stitch.ChainStats) ChainReport {
+	cr := ChainReport{
+		Chain:        cs.Chain,
+		InitTemp:     cs.InitTemp,
+		Moves:        cs.Moves,
+		Accepts:      cs.Accepts,
+		IllegalMoves: cs.IllegalMoves,
+		Exchanges:    cs.Exchanges,
+		FinalCost:    cs.FinalCost,
+	}
+	for _, p := range cs.Trace {
+		cr.Trace = append(cr.Trace, CostPoint{Iter: p.Iter, Cost: p.Cost})
+	}
+	return cr
 }

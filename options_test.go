@@ -277,6 +277,80 @@ func TestStitchOptionsMergedTable(t *testing.T) {
 	}
 }
 
+// TestStitchOptionsResolvedTable drives the resolved() per-backend
+// alias overlay: flat-only fills the sub-structs, structured-only
+// passes through, and on conflict the structured field wins.
+func TestStitchOptionsResolvedTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   StitchOptions
+		want AnnealOptions
+		gd   int
+	}{
+		{name: "zero"},
+		{name: "flat-only", in: StitchOptions{Iterations: 1234, Chains: 3, GDIterations: 64},
+			want: AnnealOptions{Iterations: 1234, Chains: 3}, gd: 64},
+		{name: "structured-only", in: StitchOptions{
+			Anneal: AnnealOptions{Iterations: 500, Chains: 2}, Analytic: AnalyticOptions{GDIterations: 32}},
+			want: AnnealOptions{Iterations: 500, Chains: 2}, gd: 32},
+		{name: "structured-wins-conflict", in: StitchOptions{
+			Iterations: 9999, Chains: 9, GDIterations: 999,
+			Anneal: AnnealOptions{Iterations: 500, Chains: 2}, Analytic: AnalyticOptions{GDIterations: 32}},
+			want: AnnealOptions{Iterations: 500, Chains: 2}, gd: 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.resolved()
+			if got.Anneal.Iterations != tc.want.Iterations || got.Anneal.Chains != tc.want.Chains {
+				t.Errorf("Anneal = %+v, want %+v", got.Anneal, tc.want)
+			}
+			if got.Analytic.GDIterations != tc.gd {
+				t.Errorf("Analytic.GDIterations = %d, want %d", got.Analytic.GDIterations, tc.gd)
+			}
+		})
+	}
+	// Each conflicting per-backend alias records one count per resolution.
+	rec := NewRecorder()
+	conflicted := StitchOptions{
+		Iterations: 9999, Chains: 9, GDIterations: 999, Obs: rec,
+		Anneal:   AnnealOptions{Iterations: 500, Chains: 2},
+		Analytic: AnalyticOptions{GDIterations: 32},
+	}
+	_ = stitchConfig(conflicted)
+	if got := rec.CounterValue("options.alias_conflict"); got != 3 {
+		t.Errorf("alias_conflict counter = %d, want 3 (Iterations, Chains, GDIterations)", got)
+	}
+}
+
+// TestStitchConfigFlatAliasByteIdentical is the compatibility
+// acceptance bar of the sub-struct redesign: a flat-alias-only
+// configuration (the PR-8 spelling) must map onto exactly the same
+// stitch.Config as its structured equivalent — so every pre-redesign
+// caller keeps byte-identical results.
+func TestStitchConfigFlatAliasByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		flat StitchOptions
+		sub  StitchOptions
+	}{
+		{"anneal-default", StitchOptions{Seed: 3, Iterations: 8000, Chains: 4},
+			StitchOptions{Seed: 3, Anneal: AnnealOptions{Iterations: 8000, Chains: 4}}},
+		{"anneal-explicit", StitchOptions{Seed: 1, Backend: BackendAnneal, Iterations: 200},
+			StitchOptions{Seed: 1, Backend: BackendAnneal, Anneal: AnnealOptions{Iterations: 200}}},
+		{"hybrid-gd", StitchOptions{Seed: 2, Backend: BackendHybrid, GDIterations: 64},
+			StitchOptions{Seed: 2, Backend: BackendHybrid, Analytic: AnalyticOptions{GDIterations: 64}}},
+		{"adaptive", StitchOptions{Seed: 5, Iterations: 16000, AdaptiveStop: true},
+			StitchOptions{Seed: 5, Anneal: AnnealOptions{Iterations: 16000}, AdaptiveStop: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if a, b := stitchConfig(tc.flat), stitchConfig(tc.sub); !reflect.DeepEqual(a, b) {
+				t.Errorf("flat spelling maps to\n%+v\nstructured to\n%+v", a, b)
+			}
+		})
+	}
+}
+
 // TestImplementOptionsMergedTable covers the Workers/Cache alias
 // overlay the same way.
 func TestImplementOptionsMergedTable(t *testing.T) {
@@ -329,6 +403,22 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative-gd", StitchOptions{GDIterations: -3}, false},
 		{"bad-backend", StitchOptions{Backend: "bogus"}, false},
 		{"bad-check", StitchOptions{Check: CheckLevel(42)}, false},
+		{"structured-full", StitchOptions{Backend: BackendPortfolio,
+			Anneal:    AnnealOptions{Chains: 4, Iterations: 100, TempLadder: 2.5},
+			Analytic:  AnalyticOptions{GDIterations: 64},
+			Evo:       EvoOptions{Mu: 2, Lambda: 8, Generations: 10},
+			Portfolio: PortfolioOptions{Backends: []string{"anneal", "evo"}, Threshold: 5000}}, true},
+		{"negative-anneal-iterations", StitchOptions{Anneal: AnnealOptions{Iterations: -1}}, false},
+		{"negative-anneal-chains", StitchOptions{Anneal: AnnealOptions{Chains: -1}}, false},
+		{"temp-ladder-below-one", StitchOptions{Anneal: AnnealOptions{TempLadder: 0.5}}, false},
+		{"negative-analytic-gd", StitchOptions{Analytic: AnalyticOptions{GDIterations: -1}}, false},
+		{"negative-evo-mu", StitchOptions{Evo: EvoOptions{Mu: -1}}, false},
+		{"negative-evo-lambda", StitchOptions{Evo: EvoOptions{Lambda: -1}}, false},
+		{"negative-evo-generations", StitchOptions{Evo: EvoOptions{Generations: -1}}, false},
+		{"negative-threshold", StitchOptions{Portfolio: PortfolioOptions{Threshold: -1}}, false},
+		{"empty-portfolio-entrant", StitchOptions{Portfolio: PortfolioOptions{Backends: []string{"anneal", ""}}}, false},
+		{"unknown-portfolio-entrant", StitchOptions{Portfolio: PortfolioOptions{Backends: []string{"genetic"}}}, false},
+		{"nested-portfolio", StitchOptions{Portfolio: PortfolioOptions{Backends: []string{"portfolio"}}}, false},
 	}
 	for _, tc := range stitchCases {
 		if err := tc.o.Validate(); (err == nil) != tc.ok {

@@ -24,8 +24,17 @@ benchtime="${BENCHTIME:-1s}"
 # iteration count pins the seed sequence, so the finalcost metric is
 # deterministic and comparable across snapshots.
 if [ "${pattern}" = "stitch" ]; then
-	pattern='^(BenchmarkFig5|BenchmarkStitchChains|BenchmarkStitchAnneal10x|BenchmarkStitchAnalytic|BenchmarkStitchHybrid)$'
+	pattern='^(BenchmarkFig5|BenchmarkStitchChains|BenchmarkStitchAnneal10x|BenchmarkStitchAnalytic|BenchmarkStitchHybrid|BenchmarkStitchEvo10x|BenchmarkStitchPortfolio10x)$'
 	benchtime="${BENCHTIME:-20x}"
+fi
+
+# Shorthand for the portfolio acceptance set: the backend race against
+# its three entrants run solo on the 10× synthetic workload at the same
+# 40,000-move budget. BenchmarkStitchPortfolio10x asserts before timing
+# that the race is never worse than the best solo backend.
+if [ "${pattern}" = "portfolio" ]; then
+	pattern='^(BenchmarkStitchAnneal10x|BenchmarkStitchHybrid|BenchmarkStitchEvo10x|BenchmarkStitchPortfolio10x)$'
+	benchtime="${BENCHTIME:-5x}"
 fi
 
 # Shorthand for the observability overhead trio: the uninstrumented

@@ -48,15 +48,17 @@ awk -v t="${total}" -v f="${floor}" 'BEGIN {
 # The multi-chain stitcher promises bit-identical results regardless of
 # core count; re-run its determinism suite under the race detector at a
 # parallelism the default run may not have exercised. The analytic
-# backend's goroutine-tiled gradient descent carries the same promise,
-# so its determinism tests run in the same configuration.
+# backend's goroutine-tiled gradient descent, the evolutionary placer's
+# parallel fitness evaluation and the portfolio race all carry the same
+# promise, so their determinism tests run in the same configuration.
 echo "==> stitch determinism under -race, GOMAXPROCS=4" >&2
-GOMAXPROCS=4 go test -race -run 'TestChains|TestSingleChainMatchesSerial|TestFinalCostAlwaysInTrace|TestAnalyticDeterministic|TestAnnealBackendIsDefault' ./internal/stitch/
+GOMAXPROCS=4 go test -race -run 'TestChains|TestSingleChainMatchesSerial|TestFinalCostAlwaysInTrace|TestAnalyticDeterministic|TestAnnealBackendIsDefault|TestEvoDeterministic|TestPortfolioDeterministic|TestPortfolioEntrantsMatchSolo' ./internal/stitch/
 GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToReachFinalCost' .
 
-# Backend audits: every stitcher backend through Compile under the full
-# oracle audit (zero violations required), and the cnvW1A1 flow on the
-# hybrid backend recounted end to end.
+# Backend audits: every stitcher backend (all five, portfolio included)
+# through Compile under the full oracle audit (zero violations
+# required), and the cnvW1A1 flow on the hybrid backend recounted end to
+# end.
 echo "==> stitch backend oracle audits (-check full)" >&2
 go test -run 'TestCompileBackendsAuditClean|TestRunCNVHybridFullAudit|TestLegalizedPlacementsPassOracle' . ./internal/stitch/
 
