@@ -91,6 +91,9 @@ type CompileRequest struct {
 	Stitch StitchParams `json:"stitch,omitempty"`
 	// Implement mirrors macroflow.ImplementOptions.
 	Implement ImplementParams `json:"implement,omitempty"`
+	// Partition mirrors macroflow.PartitionOptions (multi-region
+	// compilation; absent = single-device). Added within v1.
+	Partition *PartitionParams `json:"partition,omitempty"`
 	// SkipStitch implements the blocks only.
 	SkipStitch bool `json:"skipStitch,omitempty"`
 	// Priority orders admission: higher-priority jobs start first;
@@ -224,6 +227,14 @@ type PortfolioParams struct {
 	Threshold float64  `json:"threshold,omitempty"`
 }
 
+// PartitionParams mirrors macroflow.PartitionOptions.
+type PartitionParams struct {
+	Shards      int     `json:"shards"`
+	Backend     string  `json:"backend,omitempty"` // greedy (default), evo
+	CutPenalty  float64 `json:"cutPenalty,omitempty"`
+	Refinements int     `json:"refinements,omitempty"`
+}
+
 // ImplementParams mirrors macroflow.ImplementOptions.
 type ImplementParams struct {
 	Workers      int    `json:"workers,omitempty"`
@@ -264,10 +275,35 @@ type CompileResult struct {
 	FirstRunRate float64    `json:"firstRunRate,omitempty"`
 	CacheHits    int        `json:"cacheHits"`
 	Cache        CacheStats `json:"cache"`
-	// Stitch is nil for skipStitch jobs.
+	// Stitch is nil for skipStitch jobs. For partitioned jobs it is the
+	// aggregate over all shards.
 	Stitch *StitchSummary `json:"stitch,omitempty"`
+	// Partition is the per-member breakdown of a partitioned job — nil
+	// unless the request set partition.shards. Added within v1.
+	Partition *PartitionSummary `json:"partition,omitempty"`
 	// Verify is nil unless a check level was requested.
 	Verify *VerifySummary `json:"verify,omitempty"`
+}
+
+// PartitionSummary mirrors macroflow.PartitionReport.
+type PartitionSummary struct {
+	Backend    string          `json:"backend"`
+	Members    []MemberSummary `json:"members"`
+	CutNets    int             `json:"cutNets"`
+	CutWeight  float64         `json:"cutWeight"`
+	CutPenalty float64         `json:"cutPenalty"`
+	CutCost    float64         `json:"cutCost"`
+	TotalCost  float64         `json:"totalCost"`
+}
+
+// MemberSummary mirrors macroflow.MemberReport.
+type MemberSummary struct {
+	Name        string         `json:"name"`
+	Instances   int            `json:"instances"`
+	UsedSlices  int            `json:"usedSlices"`
+	CapSlices   int            `json:"capSlices"`
+	Utilization float64        `json:"utilization"`
+	Stitch      *StitchSummary `json:"stitch,omitempty"`
 }
 
 // BlockResult mirrors macroflow.ModuleResult.

@@ -199,6 +199,22 @@ func (p StitchParams) Options() (macroflow.StitchOptions, error) {
 	return o, nil
 }
 
+// Options converts the wire params into macroflow.PartitionOptions.
+// A nil receiver (partition absent from the request) converts to the
+// zero value, which disables partitioning. Semantic validation is the
+// flow's PartitionOptions.Validate.
+func (p *PartitionParams) Options() macroflow.PartitionOptions {
+	if p == nil {
+		return macroflow.PartitionOptions{}
+	}
+	return macroflow.PartitionOptions{
+		Shards:      p.Shards,
+		Backend:     p.Backend,
+		CutPenalty:  p.CutPenalty,
+		Refinements: p.Refinements,
+	}
+}
+
 // Options converts the wire params into the structured
 // macroflow.ImplementOptions (never the deprecated flat aliases). The
 // caller attaches the shared cache and recorder.
@@ -239,6 +255,7 @@ func ResultFromCompile(res *macroflow.CompileResult, skipStitch bool) *CompileRe
 	if !skipStitch {
 		out.Stitch = stitchSummary(&res.Stitch)
 	}
+	out.Partition = partitionSummary(res.Partition)
 	return out
 }
 
@@ -255,6 +272,33 @@ func ResultFromCNV(res *macroflow.CNVResult, skipStitch bool) *CompileResult {
 	}
 	if !skipStitch {
 		out.Stitch = stitchSummary(&res.Stitch)
+	}
+	out.Partition = partitionSummary(res.Partition)
+	return out
+}
+
+func partitionSummary(pr *macroflow.PartitionReport) *PartitionSummary {
+	if pr == nil {
+		return nil
+	}
+	out := &PartitionSummary{
+		Backend:    pr.Backend,
+		CutNets:    pr.CutNets,
+		CutWeight:  pr.CutWeight,
+		CutPenalty: pr.CutPenalty,
+		CutCost:    pr.CutCost,
+		TotalCost:  pr.TotalCost,
+	}
+	for i := range pr.Members {
+		m := &pr.Members[i]
+		out.Members = append(out.Members, MemberSummary{
+			Name:        m.Name,
+			Instances:   m.Instances,
+			UsedSlices:  m.UsedSlices,
+			CapSlices:   m.CapSlices,
+			Utilization: m.Utilization,
+			Stitch:      stitchSummary(&m.Stitch),
+		})
 	}
 	return out
 }

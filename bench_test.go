@@ -15,6 +15,7 @@ import (
 	"macroflow/internal/ml"
 	"macroflow/internal/netlist"
 	"macroflow/internal/obs"
+	"macroflow/internal/partition"
 	"macroflow/internal/pblock"
 	"macroflow/internal/place"
 	"macroflow/internal/route"
@@ -390,6 +391,56 @@ func BenchmarkStitchPortfolio10x(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		race.Seed = int64(i)
 		cost = totalStitchCost(stitch.Run(p, race))
+	}
+	b.ReportMetric(cost, "finalcost")
+}
+
+// BenchmarkStitchSharded10x measures the two-shard partitioned stitch
+// of the 10× workload: partitioner assignment plus parallel per-shard
+// hybrid runs. Before timing it asserts the regression bound — the
+// combined objective (shard wirelength + cut weight + the 2000/instance
+// unplaced penalty) must stay within 2.5× of the single-device hybrid
+// at the same move budget, aggregated over three seeds. Partitioning
+// trades quality for parallelism and per-shard isolation (each shard is
+// a tighter half-device, so a few percent of instances fail to place);
+// the fixed bound is the tripwire for that trade-off regressing.
+func BenchmarkStitchSharded10x(b *testing.B) {
+	p := synthetic10x()
+	set, err := fabric.Shards(fabric.XC7Z045(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hybrid := stitch.DefaultConfig()
+	hybrid.Iterations = 40000
+	hybrid.Chains = 4
+	hybrid.Backend = stitch.BackendHybrid
+	sharded := func(seed int64) float64 {
+		a, err := partition.Assign(partition.FromStitch(p, set), partition.Config{Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := hybrid
+		cfg.Seed = seed
+		sres, err := stitch.RunSharded(p, stitch.ShardsOf(set), a.Member, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sres.FinalCost + sres.CutWeight + 2000*float64(sres.Unplaced)
+	}
+	var hybridCost, shardedCost float64
+	for seed := int64(0); seed < 3; seed++ {
+		hybrid.Seed = seed
+		hybridCost += totalStitchCost(stitch.Run(p, hybrid))
+		shardedCost += sharded(seed)
+	}
+	if shardedCost > 2.5*hybridCost {
+		b.Errorf("two-shard total %.0f, over 250%% of the single-device hybrid's %.0f",
+			shardedCost/3, hybridCost/3)
+	}
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cost = sharded(int64(i))
 	}
 	b.ReportMetric(cost, "finalcost")
 }

@@ -27,6 +27,7 @@ func runCNV(f *macroflow.Flow, mode macroflow.CFMode, c *ctx) *macroflow.CNVResu
 	stitch.Check = c.check
 	res, err := f.RunCNV(mode, macroflow.CNVOptions{
 		Stitch:    stitch,
+		Partition: c.partitionOptions(),
 		Implement: macroflow.ImplementOptions{Obs: c.rec, Check: c.check},
 	})
 	if err != nil {

@@ -27,6 +27,7 @@ type ctx struct {
 	epochs      int
 	stitchIters int
 	stitch      *cliflags.Stitch
+	partition   *cliflags.Partition
 	cacheDir    string
 	check       macroflow.CheckLevel
 
@@ -69,6 +70,15 @@ const cnvSearchStart = 0.5 // §IV determines minimal CFs below 0.7 too
 func (c *ctx) stitchOptions(seed int64) macroflow.StitchOptions {
 	o := macroflow.StitchOptions{Seed: seed, Iterations: c.stitchIters, Obs: c.rec}
 	c.stitch.Apply(&o)
+	return o
+}
+
+// partitionOptions builds the partition options from the -partition
+// flag group (the zero value when -partition is 0, keeping the
+// single-device path and its byte-identical outputs).
+func (c *ctx) partitionOptions() macroflow.PartitionOptions {
+	var o macroflow.PartitionOptions
+	c.partition.Apply(&o)
 	return o
 }
 

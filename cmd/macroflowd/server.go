@@ -375,7 +375,9 @@ func (s *server) compile(req *apiv1.CompileRequest, rec *macroflow.Recorder, pro
 			flow.SetSearch(w.Start, w.Step, w.Max)
 		}
 		res, err := flow.RunCNV(mode, macroflow.CNVOptions{
-			Stitch: so, Implement: im, SkipStitch: req.SkipStitch,
+			Stitch: so, Implement: im,
+			Partition:  req.Partition.Options(),
+			SkipStitch: req.SkipStitch,
 		})
 		if err != nil {
 			return nil, &apiv1.Error{Code: apiv1.ErrInternal, Message: err.Error()}
@@ -390,7 +392,9 @@ func (s *server) compile(req *apiv1.CompileRequest, rec *macroflow.Recorder, pro
 			return nil, asAPIError(err)
 		}
 		res, err := flow.Compile(d, mode, macroflow.CompileOptions{
-			Stitch: so, Implement: im, SkipStitch: req.SkipStitch,
+			Stitch: so, Implement: im,
+			Partition:  req.Partition.Options(),
+			SkipStitch: req.SkipStitch,
 		})
 		if err != nil {
 			return nil, &apiv1.Error{Code: apiv1.ErrInternal, Message: err.Error()}
@@ -445,6 +449,9 @@ func (s *server) checkRequest(req *apiv1.CompileRequest) *apiv1.Error {
 		return asAPIError(err)
 	}
 	if err := im.Validate(); err != nil {
+		return &apiv1.Error{Code: apiv1.ErrInvalidOptions, Message: err.Error()}
+	}
+	if err := req.Partition.Options().Validate(); err != nil {
 		return &apiv1.Error{Code: apiv1.ErrInvalidOptions, Message: err.Error()}
 	}
 	return nil

@@ -89,12 +89,14 @@ func newTelemetry(cfg serverConfig) *telemetry {
 // Portfolio runs contribute one sample per entrant (each entrant's own
 // backend span) plus the race parent — the entrant samples are real
 // solver runs, not double-counted sub-steps; the stitch.entrant wrapper
-// itself is skipped because it only re-measures its child.
+// itself is skipped because it only re-measures its child. Partitioned
+// runs likewise sample each stitch.shard (one anneal per fabric member)
+// and skip the stitch.sharded parent, which only fans out and reduces.
 func stageOf(name string) string {
 	switch name {
 	case "search.mincf", "search.estimate", "search.constant":
 		return "mincf"
-	case "stitch.chains", "stitch.analytic", "stitch.evo", "stitch.portfolio":
+	case "stitch.chains", "stitch.analytic", "stitch.evo", "stitch.portfolio", "stitch.shard":
 		return "stitch"
 	case "oracle.check":
 		return "oracle"

@@ -175,7 +175,11 @@ func TestFlightRecorderDump(t *testing.T) {
 	s.start()
 	defer s.drain()
 
-	final := submitAndWait(t, c, smallReq(2))
+	// A warm 4000-move smallReq can finish inside the 1ms SLO; a larger
+	// move budget makes the breach deterministic instead of a timing race.
+	req := smallReq(2)
+	req.Stitch.Iterations = 400000
+	final := submitAndWait(t, c, req)
 	if final.State != apiv1.JobDone {
 		t.Fatalf("job state = %s (%v)", final.State, final.Error)
 	}
@@ -256,7 +260,10 @@ func TestFlightRecorderDisabled(t *testing.T) {
 	s.start()
 	defer s.drain()
 
-	final := submitAndWait(t, c, smallReq(3))
+	// Same deterministic-breach budget as TestFlightRecorderDump.
+	req := smallReq(3)
+	req.Stitch.Iterations = 400000
+	final := submitAndWait(t, c, req)
 	if final.State != apiv1.JobDone {
 		t.Fatalf("job state = %s (%v)", final.State, final.Error)
 	}

@@ -31,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	iters := flag.Int("stitch-iters", 200000, "SA iterations")
 	st := cliflags.AddStitch(flag.CommandLine, "")
+	pt := cliflags.AddPartition(flag.CommandLine, "")
 	gdIters := flag.Int("stitch-gd-iters", 0, "gradient-descent iterations for -stitch-backend analytic/hybrid (0 = default 256)")
 	showMap := flag.Bool("map", false, "print the ASCII placement map")
 	obsFlags := cliflags.AddObs(flag.CommandLine, "")
@@ -65,8 +66,11 @@ func main() {
 
 	stitch := macroflow.StitchOptions{Seed: *seed, Iterations: *iters, GDIterations: *gdIters, Obs: rec}
 	st.Apply(&stitch)
+	var part macroflow.PartitionOptions
+	pt.Apply(&part)
 	res, err := flow.RunCNV(cfMode, macroflow.CNVOptions{
 		Stitch:    stitch,
+		Partition: part,
 		Implement: macroflow.ImplementOptions{Obs: rec},
 	})
 	if err != nil {
@@ -112,6 +116,15 @@ func main() {
 			}
 			fmt.Printf("  %s %-9s final=%.0f unplaced=%d moves=%d thresholdIter=%d\n",
 				mark, e.Backend, e.FinalCost, e.Unplaced, e.Moves, e.ThresholdIter)
+		}
+	}
+	if pr := res.Partition; pr != nil {
+		fmt.Printf("partition (%s): %d cut nets (weight %.0f, penalty %.2g); combined cost %.0f\n",
+			pr.Backend, pr.CutNets, pr.CutWeight, pr.CutPenalty, pr.TotalCost)
+		for _, m := range pr.Members {
+			fmt.Printf("  %s: %d insts, %d/%d slices (%.0f%%), cost %.0f, %d unplaced\n",
+				m.Name, m.Instances, m.UsedSlices, m.CapSlices, 100*m.Utilization,
+				m.Stitch.FinalCost, m.Stitch.Unplaced)
 		}
 	}
 	if len(res.Stitch.Chains) > 1 {

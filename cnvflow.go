@@ -7,6 +7,7 @@ import (
 
 	"macroflow/internal/baseline"
 	"macroflow/internal/cnv"
+	"macroflow/internal/fabric"
 	"macroflow/internal/netlist"
 	"macroflow/internal/obs"
 	"macroflow/internal/pblock"
@@ -160,8 +161,12 @@ type CNVResult struct {
 	CacheHits int
 	// Cache breaks the hits down by layer for this call.
 	Cache CacheStats
-	// Stitch is the final design assembly.
+	// Stitch is the final design assembly. For a partitioned run it is
+	// the aggregate over all shards (global origins, combined cost).
 	Stitch StitchReport
+	// Partition is the per-member breakdown of a partitioned run — nil
+	// unless Partition.Shards was set.
+	Partition *PartitionReport
 	// Verify is the oracle cross-check report — nil unless a CheckLevel
 	// was requested on Implement.Check or Stitch.Check.
 	Verify *VerifyReport
@@ -173,6 +178,9 @@ type CNVOptions struct {
 	Stitch StitchOptions
 	// Implement tunes block implementation.
 	Implement ImplementOptions
+	// Partition enables multi-region compilation (the zero value keeps
+	// the single-device stitch, byte-identical to previous releases).
+	Partition PartitionOptions
 	// SkipStitch computes per-block implementations only.
 	SkipStitch bool
 
@@ -228,6 +236,9 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 		return nil, err
 	}
 	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Partition.Validate(); err != nil {
 		return nil, err
 	}
 	search := f.searchFor(im)
@@ -298,7 +309,16 @@ func (f *Flow) RunCNV(mode CFMode, opts CNVOptions) (*CNVResult, error) {
 	}
 
 	prob := f.buildStitchProblem(design, impls)
-	res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
+	if opts.Partition.enabled() {
+		st, pr, err := f.stitchPartitioned(prob, so, opts.Partition, root, res.Verify)
+		if err != nil {
+			root.End()
+			return nil, err
+		}
+		res.Stitch, res.Partition = st, pr
+	} else {
+		res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
+	}
 	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
 		obs.Int("placed", res.Stitch.Placed),
 		obs.Int("unplaced", res.Stitch.Unplaced))
@@ -392,19 +412,26 @@ func (f *Flow) buildStitchProblem(d *cnv.Design, impls []*pblock.Implementation)
 // tile column, rows downsampled (Fig. 5/13 analog). Occupied tiles show
 // the block's kind letter, free fabric '.', clock columns '|'.
 func renderStitch(f *Flow, prob *stitch.Problem, res *stitch.Result) string {
-	w, h := f.dev.NumCols(), f.dev.Rows
+	return renderStitchMap(f.dev, prob, res.Origins)
+}
+
+// renderStitchMap is the device-parameterized renderer: partitioned
+// runs render their merged parent-coordinate origins on the parent
+// device through the same path.
+func renderStitchMap(dev *fabric.Device, prob *stitch.Problem, origins []stitch.Origin) string {
+	w, h := dev.NumCols(), dev.Rows
 	grid := make([]byte, w*h)
 	for i := range grid {
 		grid[i] = '.'
 	}
 	for x := 0; x < w; x++ {
-		if f.dev.KindAt(x).String() == "K" {
+		if dev.KindAt(x).String() == "K" {
 			for y := 0; y < h; y++ {
 				grid[y*w+x] = '|'
 			}
 		}
 	}
-	for ii, o := range res.Origins {
+	for ii, o := range origins {
 		if !o.Placed {
 			continue
 		}

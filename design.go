@@ -209,6 +209,9 @@ type CompileOptions struct {
 	Stitch StitchOptions
 	// Implement tunes block implementation.
 	Implement ImplementOptions
+	// Partition enables multi-region compilation (the zero value keeps
+	// the single-device stitch, byte-identical to previous releases).
+	Partition PartitionOptions
 	// SkipStitch implements the blocks only.
 	SkipStitch bool
 
@@ -262,8 +265,12 @@ type CompileResult struct {
 	// persistent-layer rebuilds, in-flight singleflight joins, misses
 	// and new persistent stores.
 	Cache CacheStats
-	// Stitch is the assembled design (zero value when SkipStitch).
+	// Stitch is the assembled design (zero value when SkipStitch). For a
+	// partitioned run it is the aggregate over all shards.
 	Stitch StitchReport
+	// Partition is the per-member breakdown of a partitioned run — nil
+	// unless Partition.Shards was set.
+	Partition *PartitionReport
 	// Verify is the oracle cross-check report — nil unless a CheckLevel
 	// was requested on Implement.Check or Stitch.Check.
 	Verify *VerifyReport
@@ -287,6 +294,9 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 		return nil, err
 	}
 	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Partition.Validate(); err != nil {
 		return nil, err
 	}
 	search := f.searchFor(im)
@@ -355,7 +365,16 @@ func (f *Flow) Compile(d *Design, mode CFMode, opts CompileOptions) (*CompileRes
 	for _, n := range d.nets {
 		prob.Nets = append(prob.Nets, stitch.Net{From: n.from, To: n.to, Weight: float64(n.width) / 16})
 	}
-	res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
+	if opts.Partition.enabled() {
+		st, pr, err := f.stitchPartitioned(prob, so, opts.Partition, root, res.Verify)
+		if err != nil {
+			root.End()
+			return nil, err
+		}
+		res.Stitch, res.Partition = st, pr
+	} else {
+		res.Stitch = f.stitchDesign(prob, so, root, res.Verify)
+	}
 	root.Set(obs.Float("final_cost", res.Stitch.FinalCost),
 		obs.Int("placed", res.Stitch.Placed),
 		obs.Int("unplaced", res.Stitch.Unplaced))

@@ -38,6 +38,8 @@ const (
 	evoLambdaUsage = "evo backend: offspring per generation (0 = default 8)"
 	evoGensUsage   = "evo backend: generations (0 = default 16)"
 	portfolioUsage = "portfolio backend: comma-separated entrant list (default anneal,hybrid,evo)"
+	partitionUsage = "carve the device into this many row shards and stitch each in parallel (0 = single-device)"
+	partitionBackendUsage = "partitioner backend: greedy (refined construction) or evo ((μ+λ) over assignments)"
 )
 
 // Obs holds the -trace/-metrics observability flags.
@@ -180,6 +182,37 @@ func (s *Stitch) PortfolioBackends() []string {
 		out = append(out, strings.TrimSpace(b))
 	}
 	return out
+}
+
+// Partition holds the -partition flag group: how many fabric shards to
+// carve the device into and which assignment backend distributes the
+// instances across them.
+type Partition struct {
+	Shards  int
+	Backend string
+}
+
+// AddPartition registers -partition (default 0: single-device) and
+// -partition-backend (default "greedy"). usageOverride keeps a
+// command's historic -partition help text; "" selects the canonical
+// one.
+func AddPartition(fs *flag.FlagSet, usageOverride string) *Partition {
+	u := usageOverride
+	if u == "" {
+		u = partitionUsage
+	}
+	p := &Partition{}
+	fs.IntVar(&p.Shards, "partition", 0, u)
+	fs.StringVar(&p.Backend, "partition-backend", "greedy", partitionBackendUsage)
+	return p
+}
+
+// Apply maps the flag group onto the library options. Validation stays
+// with PartitionOptions.Validate, so every command rejects bad
+// spellings with the library's message.
+func (p *Partition) Apply(o *macroflow.PartitionOptions) {
+	o.Shards = p.Shards
+	o.Backend = p.Backend
 }
 
 // Telemetry holds the service-telemetry flags of long-running daemons:

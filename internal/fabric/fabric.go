@@ -100,6 +100,15 @@ func (d *Device) ClockRegions() int {
 }
 
 // Region returns the clock region index of a row.
+//
+// Boundary contract: a row exactly on a clock-region boundary (row ==
+// k·ClockRegionRows) belongs to region k — the region ABOVE the
+// boundary, never the one below. Regions are therefore the half-open
+// row bands [k·ClockRegionRows, (k+1)·ClockRegionRows), and every row
+// belongs to exactly one region. Shard carving (Shards) depends on this:
+// cutting a device at region boundaries partitions the rows with no
+// overlap and no gap. Devices with ClockRegionRows <= 0 are a single
+// region 0.
 func (d *Device) Region(row int) int {
 	if d.ClockRegionRows <= 0 {
 		return 0

@@ -1,0 +1,117 @@
+// Fabric sets: named member devices — whole parts or clock-region
+// shards carved out of one large part — that a partitioned compile
+// distributes a design across. A Set is pure geometry: it knows each
+// member's device view and resource capacity, nothing about blocks or
+// nets (that is internal/partition's job).
+package fabric
+
+import "fmt"
+
+// Member is one target of a fabric set: a device view plus the capacity
+// a partitioner may fill. For shards carved from a parent device the
+// view shares the parent's column list (so footprint compatibility is
+// identical on shard and parent) and RowOffset maps shard-local rows
+// back onto parent rows.
+type Member struct {
+	// Name identifies the member in reports ("shard0", "devA", ...).
+	Name string
+	// Dev is the member's device view. Shard views share the parent's
+	// Columns slice and keep its ClockRegionRows; only Rows shrinks.
+	Dev *Device
+	// Capacity is the member's total fabric resources.
+	Capacity ResourceCount
+	// RowOffset is the parent row of the member's local row 0 (0 for
+	// whole-device members).
+	RowOffset int
+	// Regions counts the parent clock regions the member spans (0 for
+	// whole-device members of a heterogeneous set).
+	Regions int
+}
+
+// Set is an ordered collection of members. Order is part of the
+// determinism contract: partitioning and sharded stitching reduce
+// member results in Set order.
+type Set struct {
+	// Parent is the device the members were carved from (nil for a set
+	// of independent whole devices).
+	Parent *Device
+	// Members are the targets, in reduction order.
+	Members []Member
+}
+
+// Shards carves a device into n contiguous clock-region bands, bottom
+// to top, and returns them as a Set. Region counts are split as evenly
+// as possible with the remainder going to the bottom shards, so the
+// carving is deterministic in (device, n).
+//
+// Cutting exactly at clock-region boundaries matters twice over: the
+// Region boundary contract makes the bands a partition of the rows
+// (no row is in two shards), and region heights are multiples of the
+// BRAM/DSP tile pitch (ClockRegionRows is 50 on the 7-series parts,
+// BRAMRows = DSPRows = 5), so a shard-local placement mapped back to
+// parent rows by adding RowOffset lands BRAM and DSP tiles on the same
+// pitch alignment they had locally — shard-legal implies parent-legal.
+func Shards(d *Device, n int) (*Set, error) {
+	if d == nil {
+		return nil, fmt.Errorf("fabric: Shards needs a device")
+	}
+	regions := d.ClockRegions()
+	if n < 1 {
+		return nil, fmt.Errorf("fabric: Shards needs n >= 1 (got %d)", n)
+	}
+	if n > regions {
+		return nil, fmt.Errorf("fabric: cannot carve %d shards from %d clock regions of %s",
+			n, regions, d.Name)
+	}
+	crr := d.ClockRegionRows
+	if crr <= 0 {
+		crr = d.Rows
+	}
+	set := &Set{Parent: d, Members: make([]Member, 0, n)}
+	base, rem := regions/n, regions%n
+	region := 0
+	for k := 0; k < n; k++ {
+		span := base
+		if k < rem {
+			span++
+		}
+		y0 := region * crr
+		y1 := (region + span) * crr
+		if y1 > d.Rows {
+			y1 = d.Rows // the top region may be a partial band
+		}
+		sub := &Device{
+			Name:            fmt.Sprintf("%s/shard%d", d.Name, k),
+			Columns:         d.Columns,
+			Rows:            y1 - y0,
+			ClockRegionRows: d.ClockRegionRows,
+		}
+		set.Members = append(set.Members, Member{
+			Name:      fmt.Sprintf("shard%d", k),
+			Dev:       sub,
+			Capacity:  sub.Resources(),
+			RowOffset: y0,
+			Regions:   span,
+		})
+		region += span
+	}
+	return set, nil
+}
+
+// Capacities returns the members' capacities in set order.
+func (s *Set) Capacities() []ResourceCount {
+	out := make([]ResourceCount, len(s.Members))
+	for i, m := range s.Members {
+		out[i] = m.Capacity
+	}
+	return out
+}
+
+// String summarizes the set on one line.
+func (s *Set) String() string {
+	parent := "independent"
+	if s.Parent != nil {
+		parent = s.Parent.Name
+	}
+	return fmt.Sprintf("fabric set: %d members of %s", len(s.Members), parent)
+}

@@ -165,6 +165,40 @@ func (c *Chaos) DropPlacement(origins []stitch.Origin) (int, bool) {
 	return ii, true
 }
 
+// DropAssignment knocks one instance out of a partition assignment
+// (member -1) — the "lost block" fault of the partition plane, caught
+// by the completeness check. Returns the dropped instance index, or
+// ok=false for an empty assignment.
+func (c *Chaos) DropAssignment(assign []int) (int, bool) {
+	if len(assign) == 0 {
+		return -1, false
+	}
+	ii := c.rng.Intn(len(assign))
+	assign[ii] = -1
+	return ii, true
+}
+
+// OverpackMember piles every instance onto one member — the
+// over-capacity fault the per-member demand recount catches (any
+// realistic multi-member problem overflows a single member). Returns
+// the chosen member.
+func (c *Chaos) OverpackMember(assign []int, members int) int {
+	k := 0
+	if members > 1 {
+		k = c.rng.Intn(members)
+	}
+	for i := range assign {
+		assign[i] = k
+	}
+	return k
+}
+
+// PerturbCut inflates a reported cut weight past any tolerance — the
+// miscounted-cut fault the from-scratch cut recomputation catches.
+func (c *Chaos) PerturbCut(cut float64) float64 {
+	return cut*1.25 + 1 + float64(c.rng.Intn(8))
+}
+
 // PerturbCF lowers a claimed correction factor by one search-grid step —
 // the "infeasible CF" fault: a minimal CF shifted below the feasibility
 // boundary must be rejected by the min-CF re-probe. The result is

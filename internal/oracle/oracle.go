@@ -35,6 +35,7 @@ const (
 	CheckerCost           = "cost"
 	CheckerMinCF          = "mincf"
 	CheckerCache          = "cache"
+	CheckerPartition      = "partition"
 )
 
 // Violation is one broken contract found by a checker.
@@ -417,7 +418,9 @@ func CheckCost(p *stitch.Problem, origins []stitch.Origin, reported float64, pla
 
 // RecomputeCost is the reference wirelength: weighted Manhattan distance
 // between the centers of placed net endpoints, nets with an unplaced
-// endpoint contributing zero (the flow reports penalties separately).
+// endpoint contributing zero (the flow reports penalties separately),
+// plus each placed anchor's weighted distance to its fixed point (the
+// cut-pull term of sharded sub-problems).
 func RecomputeCost(p *stitch.Problem, origins []stitch.Origin) float64 {
 	cost := 0.0
 	for ni := range p.Nets {
@@ -437,7 +440,117 @@ func RecomputeCost(p *stitch.Problem, origins []stitch.Origin) float64 {
 		ty := float64(ot.Y) + float64(bt.Height)/2
 		cost += n.Weight * (math.Abs(fx-tx) + math.Abs(fy-ty))
 	}
+	for ai := range p.Anchors {
+		an := &p.Anchors[ai]
+		if an.Inst < 0 || an.Inst >= len(origins) || !origins[an.Inst].Placed {
+			continue
+		}
+		b := &p.Blocks[p.Instances[an.Inst].Block]
+		o := origins[an.Inst]
+		cx := float64(o.X) + float64(b.Width)/2
+		cy := float64(o.Y) + float64(b.Height)/2
+		cost += an.Weight * (math.Abs(cx-an.X) + math.Abs(cy-an.Y))
+	}
 	return cost
+}
+
+// --- partition feasibility ----------------------------------------------
+
+// CheckPartition audits an instance→member assignment from first
+// principles: completeness (every instance mapped to a real member),
+// per-member capacity honored against a tile-by-tile demand recount,
+// and the reported cut weight matching a from-scratch recomputation
+// over the net list. The demand recount walks every span one row at a
+// time and counts BRAM/DSP tiles by repeated subtraction — it shares
+// no arithmetic with the partitioner's vectorized fast path.
+func CheckPartition(p *stitch.Problem, caps []fabric.ResourceCount, assign []int, reportedCut float64, rep *Report) {
+	rep.count()
+	if len(assign) != len(p.Instances) {
+		rep.Violate(CheckerPartition, "design",
+			"%d assignments for %d instances", len(assign), len(p.Instances))
+		return
+	}
+	if len(caps) == 0 {
+		rep.Violate(CheckerPartition, "design", "no member capacities")
+		return
+	}
+	util := make([]fabric.ResourceCount, len(caps))
+	for ii, k := range assign {
+		if k < 0 || k >= len(caps) {
+			rep.Violate(CheckerPartition, p.Instances[ii].Name,
+				"assigned to member %d of %d", k, len(caps))
+			continue
+		}
+		inst := p.Instances[ii]
+		if inst.Block < 0 || inst.Block >= len(p.Blocks) {
+			rep.Violate(CheckerPartition, inst.Name, "block index %d out of range", inst.Block)
+			continue
+		}
+		d := recountDemand(p.Dev, &p.Blocks[inst.Block])
+		util[k].SlicesL += d.SlicesL
+		util[k].SlicesM += d.SlicesM
+		util[k].BRAM += d.BRAM
+		util[k].DSP += d.DSP
+	}
+	for k := range caps {
+		if !caps[k].Covers(util[k]) {
+			rep.Violate(CheckerPartition, fmt.Sprintf("member %d", k),
+				"demand %+v exceeds capacity %+v", util[k], caps[k])
+		}
+	}
+	cut := 0.0
+	for ni := range p.Nets {
+		n := &p.Nets[ni]
+		if n.From < 0 || n.From >= len(assign) || n.To < 0 || n.To >= len(assign) {
+			continue
+		}
+		if assign[n.From] != assign[n.To] {
+			cut += n.Weight
+		}
+	}
+	if tol := 1e-9 * (1 + math.Abs(cut)); math.Abs(cut-reportedCut) > tol {
+		rep.Violate(CheckerPartition, "design",
+			"reported cut weight %v, from-scratch recomputation %v", reportedCut, cut)
+	}
+}
+
+// recountDemand is the reference resource demand of one block: every
+// span walked one row at a time, BRAM/DSP tile counts accumulated by
+// repeated subtraction rather than ceiling division.
+func recountDemand(dev *fabric.Device, b *stitch.Block) fabric.ResourceCount {
+	var rc fabric.ResourceCount
+	for _, s := range b.Spans {
+		x := b.HomeX + s.DX
+		if x < 0 || x >= dev.NumCols() || s.Max < s.Min {
+			continue
+		}
+		rows := 0
+		for y := s.Min; y <= s.Max; y++ {
+			rows++
+		}
+		switch dev.KindAt(x) {
+		case fabric.ColCLBL:
+			for r := 0; r < rows; r++ {
+				rc.SlicesL += fabric.SlicesPerCLB
+			}
+		case fabric.ColCLBM:
+			for r := 0; r < rows; r++ {
+				rc.SlicesL++
+				rc.SlicesM++
+			}
+		case fabric.ColBRAM:
+			for rem := rows; rem > 0; rem -= fabric.BRAMRows {
+				rc.BRAM++
+			}
+		case fabric.ColDSP:
+			for rem := rows; rem > 0; rem -= fabric.DSPRows {
+				for s := 0; s < fabric.DSPPerTile; s++ {
+					rc.DSP++
+				}
+			}
+		}
+	}
+	return rc
 }
 
 // --- minimal-CF feasibility re-probe ------------------------------------

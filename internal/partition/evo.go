@@ -1,0 +1,212 @@
+// Evolutionary partitioner backend: a (μ+λ) EA over the member[]
+// genome, mirroring the stitch EA's determinism discipline — the
+// master rng draws every child's plan serially, children evaluate in
+// parallel writing only their own slot, the reduction walks children
+// in order, and survivor selection is a stable insertion sort — so the
+// result depends only on (Problem, Seed), never on GOMAXPROCS.
+package partition
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Evo seed strides, mirroring the stitch EA's separation of the master
+// rng from the per-child rngs.
+const (
+	evoMasterStride = 613
+	evoChildStrideG = 104729
+	evoChildStrideI = 1299709
+)
+
+// individual is one candidate assignment with its fitness.
+type individual struct {
+	member []int
+	cut    float64
+}
+
+// childPlan is everything a child derives from the master rng — drawn
+// serially, applied in parallel.
+type childPlan struct {
+	parentA, parentB int
+	seed             int64
+}
+
+// evoAssign runs the (μ+λ) search seeded from greedy constructions.
+func evoAssign(p *Problem, cfg Config) (*Assignment, error) {
+	mu, lambda, gens := cfg.Mu, cfg.Lambda, cfg.Generations
+	if mu <= 0 {
+		mu = 4
+	}
+	if lambda <= 0 {
+		lambda = 8
+	}
+	if gens <= 0 {
+		gens = 16
+	}
+	master := rand.New(rand.NewSource(cfg.Seed + evoMasterStride))
+
+	// Founders: the deterministic greedy assignment plus shuffled-order
+	// constructions. Construction can only fail when no member fits an
+	// instance at all orders tried; the deterministic founder's error is
+	// authoritative (it uses the demand-descending bin-packing order).
+	pop := make([]individual, 0, mu+lambda)
+	base, err := p.construct(nil)
+	if err != nil {
+		return nil, err
+	}
+	pop = append(pop, individual{member: base, cut: p.cutOf(base)})
+	for len(pop) < mu {
+		order := p.demandOrder()
+		master.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		m, err := p.construct(order)
+		if err != nil {
+			// A shuffled order can strand a big instance; fall back to
+			// a copy of the feasible founder.
+			m = append([]int(nil), base...)
+		}
+		pop = append(pop, individual{member: m, cut: p.cutOf(m)})
+	}
+	sortByCut(pop)
+
+	nets := p.netsOf()
+	for g := 0; g < gens; g++ {
+		// Serial planning: every master-rng draw happens here, in child
+		// order, before any parallel work.
+		plans := make([]childPlan, lambda)
+		for c := range plans {
+			plans[c] = childPlan{
+				parentA: master.Intn(mu),
+				parentB: master.Intn(mu),
+				seed:    cfg.Seed + evoChildStrideG*int64(g+1) + evoChildStrideI*int64(c+1),
+			}
+		}
+		children := make([]individual, lambda)
+		var wg sync.WaitGroup
+		for c := range plans {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				children[c] = p.makeChild(pop[plans[c].parentA].member,
+					pop[plans[c].parentB].member, plans[c].seed, nets)
+			}(c)
+		}
+		wg.Wait()
+		// Ordered reduction: children join the population in child
+		// order, then the stable sort keeps earlier individuals ahead
+		// on ties — independent of evaluation timing.
+		pop = append(pop, children...)
+		sortByCut(pop)
+		pop = pop[:mu]
+	}
+	return p.finish(pop[0].member), nil
+}
+
+// makeChild crosses two parents (uniform mask), mutates a few genes,
+// and repairs capacity violations deterministically from the child's
+// own seed.
+func (p *Problem) makeChild(a, b []int, seed int64, nets [][]int) individual {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]int, len(a))
+	for i := range m {
+		if rng.Intn(2) == 0 {
+			m[i] = a[i]
+		} else {
+			m[i] = b[i]
+		}
+	}
+	// Mutate: reassign a handful of random instances to random members.
+	if len(m) > 0 {
+		muts := 1 + rng.Intn(3)
+		for t := 0; t < muts; t++ {
+			m[rng.Intn(len(m))] = rng.Intn(len(p.Capacity))
+		}
+	}
+	p.repair(m, nets)
+	cut := p.cutOf(m)
+	util := p.utilOf(m)
+	for k := range p.Capacity {
+		if !p.Capacity[k].Covers(util[k]) {
+			cut += repairPenalty
+		}
+	}
+	return individual{member: m, cut: cut}
+}
+
+// repair restores capacity feasibility: instances of overfull members
+// are evicted demand-descending and re-placed by the greedy rule
+// (feasible member, lowest cut delta). Repair is pure arithmetic over
+// the genome — no rng — so a child is a function of its plan alone.
+// If re-placement fails the instance returns to the deterministic
+// greedy construction's member, which is feasible when the eviction
+// order leaves room; remaining violations lose to feasible siblings in
+// selection because their cut is inflated by repairPenalty.
+func (p *Problem) repair(member []int, nets [][]int) {
+	util := p.utilOf(member)
+	var evicted []int
+	for k := range p.Capacity {
+		if p.Capacity[k].Covers(util[k]) {
+			continue
+		}
+		// Evict this member's instances demand-descending until it fits.
+		var own []int
+		for i, mk := range member {
+			if mk == k {
+				own = append(own, i)
+			}
+		}
+		for o := 0; o < len(own) && !p.Capacity[k].Covers(util[k]); o++ {
+			// Pick the largest remaining instance (stable on ties).
+			best := -1
+			for _, i := range own {
+				if member[i] != k {
+					continue
+				}
+				if best < 0 || p.Demand[i].Slices() > p.Demand[best].Slices() {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			member[best] = -1
+			util[k].SlicesL -= p.Demand[best].SlicesL
+			util[k].SlicesM -= p.Demand[best].SlicesM
+			util[k].BRAM -= p.Demand[best].BRAM
+			util[k].DSP -= p.Demand[best].DSP
+			evicted = append(evicted, best)
+		}
+	}
+	for _, i := range evicted {
+		best := -1
+		bestDelta := 0.0
+		for k := range p.Capacity {
+			if !p.fits(util, k, p.Demand[i]) {
+				continue
+			}
+			d := p.cutDelta(member, nets, i, k)
+			if best < 0 || d < bestDelta {
+				best, bestDelta = k, d
+			}
+		}
+		if best < 0 {
+			best = 0 // overfull as a last resort; selection penalizes it
+		}
+		member[i] = best
+		util[best] = util[best].Add(p.Demand[i])
+	}
+}
+
+// repairPenalty inflates the fitness of a still-infeasible child per
+// overfull member, so feasible siblings always win selection.
+const repairPenalty = 1e12
+
+// sortByCut stable-sorts the population by cut (infeasible individuals
+// last via the repair penalty).
+func sortByCut(pop []individual) {
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].cut < pop[j-1].cut; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}

@@ -291,7 +291,16 @@ func (g *analytic) descend(rec *obs.Recorder, parent *obs.Span) {
 				gx, gy := 0.0, 0.0
 				// Smoothed-HPWL attraction along every incident net:
 				// d/dx of w*sqrt(dx^2+a^2) = w*dx/sqrt(dx^2+a^2).
+				// Virtual indices >= len(Nets) are anchors: the same
+				// attraction toward a fixed point instead of a peer.
 				for _, ni := range g.pr.netsOf[i] {
+					if ni >= len(g.p.Nets) {
+						an := &g.p.Anchors[ni-len(g.p.Nets)]
+						dx, dy := g.px[i]-an.X, g.py[i]-an.Y
+						gx += an.Weight * dx / math.Sqrt(dx*dx+smoothAbsAlpha)
+						gy += an.Weight * dy / math.Sqrt(dy*dy+smoothAbsAlpha)
+						continue
+					}
 					n := &g.p.Nets[ni]
 					o := n.To
 					if o == i {

@@ -101,13 +101,38 @@ type Net struct {
 	Weight   float64
 }
 
+// Anchor is a fixed-point attraction on one instance: when the instance
+// is placed, the cost gains Weight times the Manhattan distance between
+// the instance's center and (X, Y); unplaced instances contribute
+// nothing (the unplaced penalty covers them). Sharded stitching models
+// cross-shard nets as anchors — the remote endpoint, frozen at its
+// shard's center, pulls the local endpoint toward the cut boundary — so
+// per-shard runs co-optimize intra-shard wirelength and cross-shard
+// cut with the same incremental machinery as ordinary nets. The anchor
+// point may lie outside the device: it is pure arithmetic, never a
+// placement target.
+type Anchor struct {
+	Inst int
+	X, Y float64
+	// Weight scales the attraction (a cross-shard net's weight).
+	Weight float64
+}
+
 // Problem is a full stitching task.
 type Problem struct {
 	Dev       *fabric.Device
 	Blocks    []Block
 	Instances []Instance
 	Nets      []Net
+	// Anchors are fixed-point attractions (nil for single-device runs;
+	// the solver's arithmetic is then byte-identical to releases without
+	// anchor support).
+	Anchors []Anchor
 }
+
+// terms is the number of cost terms: real nets first, then anchors as
+// virtual net indices len(Nets)..len(Nets)+len(Anchors)-1.
+func (p *Problem) terms() int { return len(p.Nets) + len(p.Anchors) }
 
 // Config tunes the annealer.
 type Config struct {
@@ -349,6 +374,8 @@ func newPrep(p *Problem) *prep {
 	// Bucket nets by endpoint into one flat backing array (counting
 	// pass, then fill): per-instance append slices cost one allocation
 	// per instance, which dominated stitch.Run's allocation profile.
+	// Anchors join the buckets as virtual net indices >= len(Nets), so
+	// the incremental move loop recomputes them like any touched net.
 	deg := make([]int, len(p.Instances))
 	total := 0
 	for _, n := range p.Nets {
@@ -358,6 +385,10 @@ func newPrep(p *Problem) *prep {
 			deg[n.To]++
 			total++
 		}
+	}
+	for _, an := range p.Anchors {
+		deg[an.Inst]++
+		total++
 	}
 	flat := make([]int, total)
 	off := 0
@@ -370,6 +401,9 @@ func newPrep(p *Problem) *prep {
 		if n.To != n.From {
 			pr.netsOf[n.To] = append(pr.netsOf[n.To], ni)
 		}
+	}
+	for ai, an := range p.Anchors {
+		pr.netsOf[an.Inst] = append(pr.netsOf[an.Inst], len(p.Nets)+ai)
 	}
 	return pr
 }
@@ -539,9 +573,18 @@ func (a *annealer) blockIndex(b *Block) int {
 	return -1
 }
 
-// computeNetCost is the weighted Manhattan distance of one net; nets
-// with an unplaced endpoint cost the unplaced penalty share.
+// computeNetCost is the weighted Manhattan distance of one cost term:
+// a net between two placed endpoints, or (for virtual indices >=
+// len(Nets)) an anchor between a placed instance and its fixed point.
+// Terms with an unplaced endpoint cost the unplaced penalty share.
 func (a *annealer) computeNetCost(ni int) float64 {
+	if ni >= len(a.p.Nets) {
+		an := &a.p.Anchors[ni-len(a.p.Nets)]
+		if !a.origins[an.Inst].Placed {
+			return 0
+		}
+		return an.Weight * (math.Abs(a.cx[an.Inst]-an.X) + math.Abs(a.cy[an.Inst]-an.Y))
+	}
 	n := &a.p.Nets[ni]
 	if !a.origins[n.From].Placed || !a.origins[n.To].Placed {
 		return 0 // the per-instance penalty covers unplaced endpoints
@@ -549,10 +592,10 @@ func (a *annealer) computeNetCost(ni int) float64 {
 	return n.Weight * (math.Abs(a.cx[n.From]-a.cx[n.To]) + math.Abs(a.cy[n.From]-a.cy[n.To]))
 }
 
-// initCostState fills the per-net cost cache and the running total.
+// initCostState fills the per-term cost cache and the running total.
 func (a *annealer) initCostState() {
-	a.netCost0 = make([]float64, len(a.p.Nets))
-	for ni := range a.p.Nets {
+	a.netCost0 = make([]float64, a.p.terms())
+	for ni := range a.netCost0 {
 		a.netCost0[ni] = a.computeNetCost(ni)
 	}
 	a.cost = a.totalCost()
@@ -561,7 +604,7 @@ func (a *annealer) initCostState() {
 // totalCost recomputes the full cost from scratch (no cache reads).
 func (a *annealer) totalCost() float64 {
 	c := 0.0
-	for ni := range a.p.Nets {
+	for ni := 0; ni < a.p.terms(); ni++ {
 		c += a.computeNetCost(ni)
 	}
 	for ii := range a.origins {
@@ -574,7 +617,7 @@ func (a *annealer) totalCost() float64 {
 
 // refreshNetCosts revalidates the cache after out-of-loop placements.
 func (a *annealer) refreshNetCosts() {
-	for ni := range a.p.Nets {
+	for ni := range a.netCost0 {
 		a.netCost0[ni] = a.computeNetCost(ni)
 	}
 }
@@ -736,9 +779,13 @@ func (a *annealer) trySwap(temp float64) {
 func (a *annealer) cachedPairCost(i1, i2 int) float64 {
 	c := a.cachedInstCost(i1)
 	for _, ni := range a.pr.netsOf[i2] {
-		n := &a.p.Nets[ni]
-		if n.From == i1 || n.To == i1 {
-			continue // already counted via i1
+		// Anchors touch one instance, so i2's anchors are never shared
+		// with i1 and always count.
+		if ni < len(a.p.Nets) {
+			n := &a.p.Nets[ni]
+			if n.From == i1 || n.To == i1 {
+				continue // already counted via i1
+			}
 		}
 		c += a.netCost0[ni]
 	}
@@ -753,9 +800,11 @@ func (a *annealer) cachedPairCost(i1, i2 int) float64 {
 func (a *annealer) freshPairCost(i1, i2 int) float64 {
 	c := a.freshInstCost(i1)
 	for _, ni := range a.pr.netsOf[i2] {
-		n := &a.p.Nets[ni]
-		if n.From == i1 || n.To == i1 {
-			continue // already counted via i1
+		if ni < len(a.p.Nets) {
+			n := &a.p.Nets[ni]
+			if n.From == i1 || n.To == i1 {
+				continue // already counted via i1
+			}
 		}
 		v := a.computeNetCost(ni)
 		a.pendingNets = append(a.pendingNets, ni)
@@ -771,7 +820,7 @@ func (a *annealer) freshPairCost(i1, i2 int) float64 {
 // checkIncremental asserts the incremental cost state against a full
 // recomputation (the CheckIncremental debug mode).
 func (a *annealer) checkIncremental(it int) {
-	for ni := range a.p.Nets {
+	for ni := range a.netCost0 {
 		if got := a.computeNetCost(ni); got != a.netCost0[ni] {
 			panic(fmt.Sprintf("stitch: net %d cost cache drift at iter %d: cached %v, recomputed %v",
 				ni, it, a.netCost0[ni], got))

@@ -37,6 +37,16 @@ if [ "${pattern}" = "portfolio" ]; then
 	benchtime="${BENCHTIME:-5x}"
 fi
 
+# Shorthand for the partitioned-stitch acceptance pair: the two-shard
+# sharded run against the single-device hybrid on the 10× synthetic
+# workload at the same move budget. BenchmarkStitchSharded10x asserts
+# before timing that the combined objective (shard wirelength + cut
+# weight + unplaced penalty) stays within its fixed bound of the hybrid.
+if [ "${pattern}" = "shard" ]; then
+	pattern='^(BenchmarkStitchHybrid|BenchmarkStitchSharded10x)$'
+	benchtime="${BENCHTIME:-5x}"
+fi
+
 # Shorthand for the observability overhead trio: the uninstrumented
 # oracle baseline, the instrumented path with a nil recorder (the pair
 # scripts/ci.sh gates at <=1%), and the live-recorder reference.

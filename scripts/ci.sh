@@ -26,17 +26,19 @@ go test -shuffle="${CI_SHUFFLE_SEED:-1}" ./...
 # Fuzz smoke: each native fuzz target runs briefly from its seed corpus
 # (~30s total). This is a regression tripwire, not a bug hunt — longer
 # campaigns run with: go test -fuzz <Target> -fuzztime 10m <pkg>.
-echo "==> fuzz smoke (3 targets x ${CI_FUZZTIME:-10s})" >&2
+echo "==> fuzz smoke (4 targets x ${CI_FUZZTIME:-10s})" >&2
 go test -run '^$' -fuzz '^FuzzTextRoundTrip$' -fuzztime "${CI_FUZZTIME:-10s}" ./internal/netlist/
 go test -run '^$' -fuzz '^FuzzElaborate$' -fuzztime "${CI_FUZZTIME:-10s}" ./internal/synth/
 go test -run '^$' -fuzz '^FuzzEstimatorRoundTrip$' -fuzztime "${CI_FUZZTIME:-10s}" .
+go test -run '^$' -fuzz '^FuzzPartitionAssign$' -fuzztime "${CI_FUZZTIME:-10s}" ./internal/partition/
 
 # Coverage gate: the differential-verification core (oracle, pblock,
-# stitch) must not silently lose test coverage. The floor is recorded in
-# scripts/coverage_floor.txt; raise it when coverage genuinely improves.
-echo "==> coverage gate (internal/oracle, internal/pblock, internal/stitch)" >&2
+# stitch, partition) must not silently lose test coverage. The floor is
+# recorded in scripts/coverage_floor.txt; raise it when coverage
+# genuinely improves.
+echo "==> coverage gate (internal/oracle, internal/pblock, internal/stitch, internal/partition)" >&2
 cover_out="$(mktemp)"
-go test -coverprofile="${cover_out}" ./internal/oracle/ ./internal/pblock/ ./internal/stitch/ >/dev/null
+go test -coverprofile="${cover_out}" ./internal/oracle/ ./internal/pblock/ ./internal/stitch/ ./internal/partition/ >/dev/null
 total="$(go tool cover -func="${cover_out}" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
 rm -f "${cover_out}"
 floor="$(cat scripts/coverage_floor.txt)"
@@ -49,18 +51,22 @@ awk -v t="${total}" -v f="${floor}" 'BEGIN {
 # core count; re-run its determinism suite under the race detector at a
 # parallelism the default run may not have exercised. The analytic
 # backend's goroutine-tiled gradient descent, the evolutionary placer's
-# parallel fitness evaluation and the portfolio race all carry the same
-# promise, so their determinism tests run in the same configuration.
+# parallel fitness evaluation, the portfolio race, the sharded stitcher's
+# goroutine-per-shard fan-out and the partitioner's parallel offspring
+# evaluation all carry the same promise, so their determinism tests run
+# in the same configuration.
 echo "==> stitch determinism under -race, GOMAXPROCS=4" >&2
-GOMAXPROCS=4 go test -race -run 'TestChains|TestSingleChainMatchesSerial|TestFinalCostAlwaysInTrace|TestAnalyticDeterministic|TestAnnealBackendIsDefault|TestEvoDeterministic|TestPortfolioDeterministic|TestPortfolioEntrantsMatchSolo' ./internal/stitch/
+GOMAXPROCS=4 go test -race -run 'TestChains|TestSingleChainMatchesSerial|TestFinalCostAlwaysInTrace|TestAnalyticDeterministic|TestAnnealBackendIsDefault|TestEvoDeterministic|TestPortfolioDeterministic|TestPortfolioEntrantsMatchSolo|TestShardedDeterministic|TestShardedGOMAXPROCSInvariant' ./internal/stitch/
+GOMAXPROCS=4 go test -race -run 'TestAssignDeterministic|TestAssignGOMAXPROCSInvariant' ./internal/partition/
 GOMAXPROCS=4 go test -race -run 'TestCompileMultiChainDeterministic|TestIterToReachFinalCost' .
 
 # Backend audits: every stitcher backend (all five, portfolio included)
 # through Compile under the full oracle audit (zero violations
-# required), and the cnvW1A1 flow on the hybrid backend recounted end to
-# end.
+# required), the cnvW1A1 flow on the hybrid backend recounted end to
+# end, and the two-shard partitioned compile with the partition
+# assignment, every shard placement and the cut weight all recounted.
 echo "==> stitch backend oracle audits (-check full)" >&2
-go test -run 'TestCompileBackendsAuditClean|TestRunCNVHybridFullAudit|TestLegalizedPlacementsPassOracle' . ./internal/stitch/
+go test -run 'TestCompileBackendsAuditClean|TestRunCNVHybridFullAudit|TestLegalizedPlacementsPassOracle|TestCompilePartitionedFullAudit' . ./internal/stitch/
 
 # Telemetry plane: boot an in-process daemon, run a job, and require
 # GET /metrics to parse as strict Prometheus text with the service

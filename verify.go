@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 
+	"macroflow/internal/fabric"
 	"macroflow/internal/obs"
 	"macroflow/internal/oracle"
 	"macroflow/internal/pblock"
@@ -159,6 +160,27 @@ func verifyStitch(level CheckLevel, prob *stitch.Problem, sres *stitch.Result, v
 	beforeChecks, beforeViol := vr.Checks, len(vr.Violations)
 	oracle.CheckPlacement(prob, sres.Origins, vr)
 	oracle.CheckCost(prob, sres.Origins, sres.FinalCost, sres.Placed, sres.Unplaced, vr)
+	finishVerify(sp, rec, vr, beforeChecks, beforeViol)
+}
+
+// verifyPartition cross-checks a partitioned run: the assignment's
+// completeness, capacity feasibility and cut weight recounted from
+// first principles (oracle.CheckPartition), plus every shard's
+// placement legality and reported cost audited on its own sub-problem.
+// Both levels run the full check.
+func verifyPartition(level CheckLevel, prob *stitch.Problem, set *fabric.Set, sres *stitch.ShardedResult, cut float64, vr *VerifyReport, rec *Recorder, parent *Span) {
+	if level == CheckOff || vr == nil {
+		return
+	}
+	sp := obs.StartChild(rec, parent, "oracle.check",
+		obs.String("phase", "partition"), obs.String("level", level.String()))
+	beforeChecks, beforeViol := vr.Checks, len(vr.Violations)
+	oracle.CheckPartition(prob, set.Capacities(), sres.Assign, cut, vr)
+	for k := range sres.Problems {
+		r := sres.Results[k]
+		oracle.CheckPlacement(sres.Problems[k], r.Origins, vr)
+		oracle.CheckCost(sres.Problems[k], r.Origins, r.FinalCost, r.Placed, r.Unplaced, vr)
+	}
 	finishVerify(sp, rec, vr, beforeChecks, beforeViol)
 }
 
